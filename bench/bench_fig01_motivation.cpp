@@ -1,0 +1,143 @@
+// Figure 1 — Impact of dynamic edge environments.
+//
+// (a) On-device accuracy per time slot under distribution shift, for four
+//     strategies: static cloud model, static edge model, edge model updated
+//     with the individual device's data, and edge model updated with data
+//     pooled across devices (the paper's "collaborated by devices" ideal).
+//     Paper observations to reproduce: statics degrade (~11% for the edge
+//     model), individual updating trails collaborative updating by ~10%.
+// (b) Inference latency versus the number of co-running processes (paper:
+//     up to 5.06x with 3 background processes).
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+#include "nn/init.h"
+#include "sim/cost_model.h"
+
+int main() {
+  using namespace nebula;
+  const BenchScale scale = BenchScale::from_env();
+
+  // ---- (a) accuracy per time slot ---------------------------------------------
+  // The paper's Figure 1(a) setup: a group of devices works on the same task;
+  // the data distribution (scene/appearance) shifts every time slot. Each
+  // device's local data covers one biased view, so individual updating lags
+  // the ideal where devices pool their fresh data for the same environment.
+  // A group of 6 devices shares one environment trajectory (same scene, same
+  // lighting changes). Each slot the environment may move to a new
+  // appearance context; every device then collects a small batch of fresh
+  // data. "Individual" updating uses only the device's own sparse batch;
+  // "collaborated" pools all six devices' batches (the ideal the paper
+  // measures ~10% above individual updating). Statics never update.
+  TaskSpec spec = task_by_name("CIFAR10", "5 classes");
+  spec.data.cluster_spread = 5.0f;  // pronounced appearance changes
+  TaskEnv env = make_task_env(spec, scale, 42);
+  SyntheticGenerator& gen = *env.generator;
+  const std::vector<std::int64_t> classes = {0, 2, 4, 6, 8};
+  const std::int64_t kDevices = 6;
+  const std::int64_t kPerSlot = 30;  // sparse per-device fresh data
+
+  TrainConfig pre;
+  pre.epochs = scale.pretrain_epochs;
+  TrainConfig ft;
+  ft.epochs = 6;
+  ft.lr = 0.02f;
+
+  init::reseed(21);
+  auto cloud_static = env.plain(1.0);   // "large" cloud model
+  init::reseed(22);
+  auto edge_static = env.plain(0.5);    // small static edge model
+  init::reseed(23);
+  auto edge_individual = env.plain(0.5);
+  init::reseed(24);
+  auto edge_collab = env.plain(0.5);
+  Rng rng(4);
+  Dataset proxy = gen.sample_proxy(env.spec.proxy_samples, rng).data;
+  train_plain(*cloud_static, proxy, pre);
+  train_plain(*edge_static, proxy, pre);
+  train_plain(*edge_individual, proxy, pre);
+  train_plain(*edge_collab, proxy, pre);
+
+  const std::int64_t kSlots = 9;
+  std::printf("Figure 1(a): accuracy per time slot on the shared task "
+              "(CIFAR10-like 5-class, %lld devices, %lld samples/device/"
+              "slot)\n",
+              static_cast<long long>(kDevices),
+              static_cast<long long>(kPerSlot));
+  Table slots({"Slot", "Static cloud", "Static edge", "Updated edge (indiv)",
+               "Updated edge (collab)"});
+  // Environment trajectory: starts in a historical context, then wanders.
+  std::int64_t view = 0;
+  Dataset indiv_data, collab_data;
+  for (std::int64_t slot = 0; slot < kSlots; ++slot) {
+    if (slot > 0) {
+      // Devices collect data in the current conditions and update, then the
+      // environment may move on — their data always lags what comes next.
+      // Storage is limited: only the last two slots of data are retained.
+      auto trim_to = [](Dataset& d, std::int64_t keep) {
+        if (d.size() <= keep) return;
+        std::vector<std::size_t> idx;
+        for (std::int64_t i = d.size() - keep; i < d.size(); ++i) {
+          idx.push_back(static_cast<std::size_t>(i));
+        }
+        d = d.subset(idx);
+      };
+      indiv_data.append(
+          gen.sample_classes_view(kPerSlot, classes, {view}, rng).data);
+      trim_to(indiv_data, 2 * kPerSlot);
+      collab_data.append(
+          gen.sample_classes_view(kPerSlot * kDevices, classes, {view}, rng)
+              .data);
+      trim_to(collab_data, 2 * kPerSlot * kDevices);
+      TrainConfig step = ft;
+      step.seed = rng.next_u64();
+      train_plain(*edge_individual, indiv_data, step);
+      step.seed = rng.next_u64();
+      train_plain(*edge_collab, collab_data, step);
+      if (rng.uniform() < 0.6f) {
+        view = static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(
+                spec.data.clusters_per_class)));
+      }
+    }
+    Dataset test =
+        gen.sample_classes_view(scale.test_samples * 2, classes, {view}, rng)
+            .data;
+    slots.add_row({std::to_string(slot),
+                   Table::num(evaluate_plain(*cloud_static, test), 3),
+                   Table::num(evaluate_plain(*edge_static, test), 3),
+                   Table::num(evaluate_plain(*edge_individual, test), 3),
+                   Table::num(evaluate_plain(*edge_collab, test), 3)});
+  }
+  slots.print();
+  std::printf("Paper observations: statics degrade under shift (~11%% for "
+              "the edge model); individual updating trails the pooled "
+              "ideal (~10%%).\n");
+
+  // ---- (b) inference latency vs co-running processes ----------------------------
+  std::printf("\nFigure 1(b): inference latency (ms/batch of 16) vs "
+              "co-running processes on Jetson Nano\n");
+  init::reseed(25);
+  auto mobilenet_standin = env.plain(0.75);  // MobileNetV2 stand-in
+  init::reseed(26);
+  auto shufflenet_standin = env.plain(0.5);  // ShuffleNetV2 stand-in
+  auto nano = DeviceProfile::jetson_nano();
+  Table lat({"# processes", "MobileNetV2-like (ms)", "ShuffleNetV2-like (ms)",
+             "Slowdown vs idle"});
+  const double base = CostModel::inference_latency_ms(
+      *mobilenet_standin, env.sample_shape(), 16, nano, RuntimeMonitor(0));
+  for (int procs = 0; procs <= 3; ++procs) {
+    RuntimeMonitor rt(procs);
+    const double l1 = CostModel::inference_latency_ms(
+        *mobilenet_standin, env.sample_shape(), 16, nano, rt);
+    const double l2 = CostModel::inference_latency_ms(
+        *shufflenet_standin, env.sample_shape(), 16, nano, rt);
+    lat.add_row({std::to_string(procs + 1), Table::num(l1, 3),
+                 Table::num(l2, 3), Table::num(l1 / base, 2) + "x"});
+  }
+  lat.print();
+  std::printf("\nPaper reference: 3 background processes inflate latency "
+              "~5.06x (Figure 1b).\n");
+  return 0;
+}

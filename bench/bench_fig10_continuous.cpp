@@ -1,0 +1,147 @@
+// Figure 10 — Continuous adaptation: model accuracy over repeated
+// adaptation steps on a specific edge device, for Nebula and its ablations.
+//
+// Each step replaces 50% of the device's local data (possibly moving it to a
+// new context), then each strategy takes one adaptation action:
+//   * No Adaptation      — static pre-trained model.
+//   * Local Adaptation   — fine-tune a private full model locally.
+//   * Nebula w/o local   — re-derive a sub-model from the cloud, no local
+//                          training (cloud knowledge only).
+//   * Nebula w/o cloud   — derive once, then only local updates.
+//   * Nebula             — full loop: derive + local update + upload.
+// A background fleet keeps feeding the cloud so it stays current.
+//
+// Paper reference (Fig 10/11): Nebula tops every task, beating LA by
+// 1.68/4.33/4.72/6.81 points on HAR/CIFAR10/CIFAR100/Speech.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+#include "nn/init.h"
+
+namespace {
+
+using namespace nebula;
+
+struct Series {
+  std::vector<double> na, la, wo_local, wo_cloud, nebula;
+};
+
+Series run_task(const TaskSpec& spec, const BenchScale& scale,
+                std::int64_t steps, std::uint64_t seed) {
+  TaskEnv env = make_task_env(spec, scale, seed);
+  EdgePopulation& pop = *env.population;
+  const std::int64_t device = 0;
+  TrainConfig pre;
+  pre.epochs = scale.pretrain_epochs;
+  pre.lr = spec.pretrain_lr;
+  TrainConfig local;
+  local.epochs = 6;
+  local.lr = 0.02f;
+
+  init::reseed(seed + 1);
+  NoAdaptation na(env.plain(), pop);
+  na.pretrain(env.proxy.data, pre);
+  init::reseed(seed + 2);
+  LocalAdaptation la(env.plain(), pop, local);
+  la.pretrain(env.proxy.data, pre);
+
+  auto make_sys = [&](std::uint64_t s) {
+    ZooOptions zo;
+    zo.init_seed = s;
+    auto zm = env.modular(zo);
+    NebulaConfig nc;
+    nc.devices_per_round = scale.devices_per_round;
+    nc.pretrain.epochs = scale.pretrain_epochs;
+    nc.pretrain.lr = spec.pretrain_lr;
+    nc.ability.finetune.lr = spec.pretrain_lr;
+    nc.edge.epochs = 6;
+    nc.seed = s;
+    NebulaSystem sys(std::move(zm), pop, env.profiles, nc);
+    sys.offline(env.proxy);
+    return sys;
+  };
+  // Three Nebula instances share the population but hold separate clouds.
+  NebulaSystem wo_local = make_sys(seed + 3);
+  NebulaSystem wo_cloud = make_sys(seed + 4);
+  NebulaSystem full = make_sys(seed + 5);
+  // Warm the clouds with fleet knowledge.
+  for (std::int64_t r = 0; r < scale.warm_rounds; ++r) {
+    wo_local.round();
+    wo_cloud.round();
+    full.round();
+  }
+  wo_cloud.adapt_device(device, /*query_cloud=*/true, false, false);
+
+  Series out;
+  Rng rng(seed + 6);
+  for (std::int64_t step = 0; step < steps; ++step) {
+    pop.shift(device);
+    // Background fleet activity keeps the cloud fresh (other devices also
+    // live in the changing world).
+    for (std::int64_t k = 1; k < pop.num_devices(); ++k) {
+      if (rng.uniform() < 0.3f) pop.shift(k);
+    }
+    wo_local.round();
+    full.round();
+
+    la.adapt_device(device);
+    wo_local.adapt_device(device, /*query_cloud=*/true, /*local=*/false,
+                          false);
+    wo_cloud.adapt_device(device, /*query_cloud=*/false, /*local=*/true,
+                          false);
+    full.adapt_device(device, /*query_cloud=*/true, /*local=*/true,
+                      /*upload=*/true);
+
+    const std::int64_t n = scale.test_samples;
+    out.na.push_back(na.eval_device(device, n));
+    out.la.push_back(la.eval_device(device, n));
+    out.wo_local.push_back(wo_local.eval_device(device, n));
+    out.wo_cloud.push_back(wo_cloud.eval_device(device, n));
+    out.nebula.push_back(full.eval_device(device, n));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nebula;
+  const BenchScale scale = BenchScale::from_env();
+  const std::int64_t steps =
+      std::max<std::int64_t>(6, scale.warm_rounds * 4);
+  const char* tasks[][2] = {{"HAR", "1 subject"},
+                            {"CIFAR10", "2 classes"},
+                            {"CIFAR100", "10 classes"},
+                            {"Speech", "5 classes"}};
+  std::printf("Figure 10: accuracy across %lld continuous adaptation steps "
+              "(device 0)\n",
+              static_cast<long long>(steps));
+  Table t({"Task", "No Adapt", "Local Adapt", "Nebula w/o local",
+           "Nebula w/o cloud", "Nebula"});
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec = task_by_name(tasks[i][0], tasks[i][1]);
+    Series s = run_task(spec, scale, steps, 4000 + i);
+    t.add_row({std::string(tasks[i][0]) + " (" + tasks[i][1] + ")",
+               Table::num(mean_of(s.na) * 100, 2),
+               Table::num(mean_of(s.la) * 100, 2),
+               Table::num(mean_of(s.wo_local) * 100, 2),
+               Table::num(mean_of(s.wo_cloud) * 100, 2),
+               Table::num(mean_of(s.nebula) * 100, 2)});
+    // Per-step series for the figure's curves.
+    std::printf("%s steps:", tasks[i][0]);
+    for (std::int64_t j = 0; j < steps; ++j) {
+      std::printf(" %.2f/%.2f/%.2f/%.2f/%.2f", s.na[j], s.la[j],
+                  s.wo_local[j], s.wo_cloud[j], s.nebula[j]);
+    }
+    std::printf("  (NA/LA/woLocal/woCloud/Nebula)\n");
+    std::fflush(stdout);
+  }
+  std::printf("\nMean accuracy over all steps:\n");
+  t.print();
+  std::printf("\nShape check: Nebula on top; both ablations below the full "
+              "loop (cloud knowledge and local updates are complementary); "
+              "No Adapt at the bottom.\n");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Figure 13 — Sensitivity analysis.
+//
+// (a) Accuracy vs maximum sub-model size ratio (paper: 0.2-0.5; even a
+//     20%-sized sub-model stays within ~3.65 points of a 50% one).
+// (b) Accuracy vs module granularity (8/16/32/64 modules per layer: finer
+//     granularity costs a little accuracy but buys finer size control).
+// (c) Time-to-accuracy vs number of participating devices (Nebula keeps
+//     speeding up with more devices; FedAvg plateaus under non-IID data).
+// Plus the DESIGN.md ablation: importance-weighted vs plain overlap
+// averaging in the module-wise aggregation.
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+#include "nn/init.h"
+#include "sim/cost_model.h"
+
+namespace {
+
+using namespace nebula;
+
+NebulaSystem make_system(TaskEnv& env, const BenchScale& scale,
+                         std::uint64_t seed, std::int64_t modules_per_layer,
+                         double budget_lo, double budget_hi,
+                         AggregationWeighting weighting) {
+  ZooOptions zo;
+  zo.init_seed = seed;
+  zo.modules_per_layer = modules_per_layer;
+  auto zm = env.modular(zo);
+  NebulaConfig nc;
+  nc.devices_per_round = scale.devices_per_round;
+  nc.pretrain.epochs = scale.pretrain_epochs;
+  nc.pretrain.lr = env.spec.pretrain_lr;
+  nc.ability.finetune.lr = env.spec.pretrain_lr;
+  nc.budget_lo = budget_lo;
+  nc.budget_hi = budget_hi;
+  nc.weighting = weighting;
+  nc.seed = seed;
+  NebulaSystem sys(std::move(zm), *env.population, env.profiles, nc);
+  sys.offline(env.proxy);
+  return sys;
+}
+
+double fleet_accuracy(NebulaSystem& sys, const BenchScale& scale) {
+  const std::int64_t n = std::min<std::int64_t>(scale.eval_devices,
+                                                sys.population().num_devices());
+  double acc = 0.0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    acc += sys.eval_derived(k, scale.test_samples);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nebula;
+  const BenchScale scale = BenchScale::from_env();
+
+  // ---- (a) sub-model size ratio ---------------------------------------------
+  std::printf("Figure 13(a): accuracy vs maximum sub-model size ratio\n");
+  Table a({"Task", "ratio 0.2", "0.3", "0.4", "0.5"});
+  for (auto task : {std::make_pair("CIFAR10", "2 classes"),
+                    std::make_pair("CIFAR10", "5 classes")}) {
+    TaskSpec spec = task_by_name(task.first, task.second);
+    TaskEnv env = make_task_env(spec, scale, 606);
+    std::vector<std::string> row{std::string(task.first) + " (" +
+                                 task.second + ")"};
+    for (double ratio : {0.2, 0.3, 0.4, 0.5}) {
+      auto sys = make_system(env, scale, 607, 0, ratio, ratio,
+                             AggregationWeighting::kImportance);
+      for (std::int64_t r = 0; r < scale.warm_rounds; ++r) sys.round();
+      row.push_back(Table::num(fleet_accuracy(sys, scale) * 100, 1));
+    }
+    a.add_row(row);
+    std::fflush(stdout);
+  }
+  a.print();
+
+  // ---- (b) module granularity -------------------------------------------------
+  std::printf("\nFigure 13(b): accuracy vs modules per module layer "
+              "(CIFAR10-like, ResNet18-like)\n");
+  Table b({"Modules/layer", "Accuracy", "Min sub-model step (k params)"});
+  {
+    TaskSpec spec = task_by_name("CIFAR10", "5 classes");
+    for (std::int64_t n : {8, 16, 32, 64}) {
+      TaskEnv env = make_task_env(spec, scale, 616);
+      auto sys = make_system(env, scale, 617, n, 0.35, 0.8,
+                             AggregationWeighting::kImportance);
+      for (std::int64_t r = 0; r < scale.warm_rounds; ++r) sys.round();
+      // Granularity: the smallest non-identity module is the size step when
+      // growing/shrinking a sub-model.
+      auto costs = sys.cloud().module_costs();
+      std::int64_t min_params = INT64_MAX;
+      for (const auto& layer : costs) {
+        for (const auto& c : layer) {
+          if (c.params > 0) min_params = std::min(min_params, c.params);
+        }
+      }
+      b.add_row({std::to_string(n),
+                 Table::num(fleet_accuracy(sys, scale) * 100, 1),
+                 Table::num(min_params / 1000.0, 2)});
+      std::fflush(stdout);
+    }
+  }
+  b.print();
+
+  // ---- (c) participating devices ------------------------------------------------
+  std::printf("\nFigure 13(c): simulated time to reach target accuracy vs "
+              "participating devices per round (CIFAR10-like)\n");
+  Table c({"Devices/round", "FedAvg time (s)", "Nebula time (s)"});
+  {
+    TaskSpec spec = task_by_name("CIFAR10", "2 classes");
+    for (std::int64_t per_round : {4, 8, 12, 16}) {
+      BenchScale s = scale;
+      s.devices_per_round = per_round;
+      TaskEnv env = make_task_env(spec, s, 626);
+      RuntimeMonitor idle(0);
+      // FedAvg: per-round time = slowest participant (full model) + xfer.
+      init::reseed(627);
+      FedAvgConfig fc;
+      fc.devices_per_round = per_round;
+      FedAvg fa(env.plain(), *env.population, fc);
+      TrainConfig pre;
+      pre.epochs = s.pretrain_epochs;
+      fa.pretrain(env.proxy.data, pre);
+      auto sys = make_system(env, s, 628, 0, 0.35, 0.8,
+                             AggregationWeighting::kImportance);
+
+      const double target = 0.8;
+      double fa_time = 0.0, neb_time = 0.0;
+      bool fa_done = false, neb_done = false;
+      init::reseed(629);
+      auto probe_model = env.plain(1.0);
+      for (std::int64_t r = 0; r < s.warm_rounds * 2; ++r) {
+        if (!fa_done) {
+          fa.round();
+          double worst = 0.0;
+          for (std::int64_t k = 0; k < per_round; ++k) {
+            const auto& p = env.profiles[static_cast<std::size_t>(k)];
+            const double train_s =
+                20 * CostModel::training_latency_ms(
+                         *probe_model, spec.data.sample_shape, 16, p, idle) /
+                1e3;
+            const double xfer_s = CostModel::transfer_time_s(
+                2 * 4 * probe_model->num_params(), p);
+            worst = std::max(worst, train_s + xfer_s);
+          }
+          fa_time += worst;
+          double acc = 0.0;
+          for (std::int64_t k = 0; k < s.eval_devices; ++k) {
+            acc += fa.eval_device(k, s.test_samples);
+          }
+          if (acc / s.eval_devices >= target) fa_done = true;
+        }
+        if (!neb_done) {
+          auto participants = sys.round();
+          double worst = 0.0;
+          for (auto k : participants) {
+            const auto& p = env.profiles[static_cast<std::size_t>(k)];
+            auto sub = sys.build_submodel(sys.resident_spec(k)
+                                              ? *sys.resident_spec(k)
+                                              : sys.derive(k).spec);
+            const double flops =
+                static_cast<double>(sub->forward_flops(2)) * 3.0 * 16.0;
+            const double train_s =
+                20 * (flops / p.flops_per_sec +
+                      CostModel::dispatch_overhead_s(p, true));
+            worst = std::max(worst, train_s);
+          }
+          neb_time += worst;
+          double acc = 0.0;
+          for (std::int64_t k = 0; k < s.eval_devices; ++k) {
+            acc += sys.eval_derived(k, s.test_samples);
+          }
+          if (acc / s.eval_devices >= target) neb_done = true;
+        }
+      }
+      c.add_row({std::to_string(per_round), Table::num(fa_time, 2),
+                 Table::num(neb_time, 2)});
+      std::fflush(stdout);
+    }
+  }
+  c.print();
+
+  // ---- Ablation: aggregation weighting ------------------------------------------
+  std::printf("\nAblation: module-wise importance weighting vs plain overlap "
+              "averaging (CIFAR10-like, 2 classes)\n");
+  Table d({"Aggregation", "Fleet accuracy"});
+  {
+    TaskSpec spec = task_by_name("CIFAR10", "2 classes");
+    for (auto weighting : {AggregationWeighting::kImportance,
+                           AggregationWeighting::kUniform}) {
+      TaskEnv env = make_task_env(spec, scale, 636);
+      auto sys = make_system(env, scale, 637, 0, 0.35, 0.8, weighting);
+      for (std::int64_t r = 0; r < scale.warm_rounds; ++r) sys.round();
+      d.add_row({weighting == AggregationWeighting::kImportance
+                     ? "importance-weighted"
+                     : "uniform (overlap avg)",
+                 Table::num(fleet_accuracy(sys, scale) * 100, 2)});
+    }
+  }
+  d.print();
+  std::printf("\nPaper reference: 20%%-sized sub-models lose only ~3.65 "
+              "points vs 50%%; granularity slightly trades accuracy for "
+              "flexibility; Nebula scales with devices while FedAvg "
+              "plateaus (Figure 13).\n");
+  return 0;
+}

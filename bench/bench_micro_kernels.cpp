@@ -1,0 +1,147 @@
+// Kernel microbenchmarks (google-benchmark): the numerical and algorithmic
+// primitives underneath the experiments — GEMM, convolution forward/backward,
+// module-layer dispatch, the derivation knapsack, the assignment program,
+// and module-wise aggregation.
+#include <benchmark/benchmark.h>
+
+#include "core/aggregation.h"
+#include "core/model_zoo.h"
+#include "nn/conv.h"
+#include "nn/init.h"
+#include "opt/assignment_lp.h"
+#include "opt/knapsack.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace nebula;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[static_cast<std::size_t>(i)] = rng.normal();
+    b[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  init::reseed(2);
+  Conv2d conv(8, 8, 3, 1, 1);
+  Rng rng(3);
+  Tensor x({16, 8, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvTrainStep(benchmark::State& state) {
+  init::reseed(4);
+  Conv2d conv(8, 8, 3, 1, 1);
+  Rng rng(5);
+  Tensor x({16, 8, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    conv.zero_grad();
+    Tensor dx = conv.backward(y);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvTrainStep);
+
+void BM_ModularForward(benchmark::State& state) {
+  ZooOptions opts;
+  opts.modules_per_layer = state.range(0);
+  auto zm = make_modular_mlp(32, 6, opts);
+  Rng rng(6);
+  Tensor x({16, 32});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  RoutingOpts ropts;
+  ropts.top_k = 2;
+  for (auto _ : state) {
+    GateResult g = zm.selector->forward(x, false);
+    Tensor y = zm.model->forward(x, g, ropts, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ModularForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Knapsack(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<KnapsackItem> items(n);
+  for (auto& it : items) {
+    it.value = rng.uniform();
+    it.cost = {rng.uniform(0.05f, 0.3f), rng.uniform(0.05f, 0.3f),
+               rng.uniform(0.05f, 0.3f)};
+  }
+  std::array<double, kResourceDims> budgets = {2.0, 2.0, 2.0};
+  for (auto _ : state) {
+    auto res = solve_knapsack(items, budgets, {0});
+    benchmark::DoNotOptimize(res.value);
+  }
+}
+BENCHMARK(BM_Knapsack)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Assignment(benchmark::State& state) {
+  const std::int64_t t = state.range(0), n = state.range(1);
+  Rng rng(8);
+  AssignmentProblem p;
+  p.num_subtasks = t;
+  p.num_modules = n;
+  p.h.resize(static_cast<std::size_t>(t * n));
+  for (auto& v : p.h) v = rng.uniform();
+  p.kappa1 = 3;
+  p.kappa2 = 4;
+  for (auto _ : state) {
+    auto res = solve_assignment(p);
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_Assignment)->Args({5, 16})->Args({10, 32})->Args({20, 64});
+
+void BM_ModuleWiseAggregation(benchmark::State& state) {
+  ZooOptions opts;
+  opts.modules_per_layer = 16;
+  auto zm = make_modular_mlp(32, 6, opts);
+  // Ten updates, each carrying half the modules.
+  std::vector<EdgeUpdate> updates;
+  Rng rng(9);
+  for (int u = 0; u < 10; ++u) {
+    SubmodelSpec spec;
+    spec.modules.resize(1);
+    auto pick = rng.choose(16, 8);
+    for (auto id : pick) {
+      spec.modules[0].push_back(static_cast<std::int64_t>(id));
+    }
+    std::sort(spec.modules[0].begin(), spec.modules[0].end());
+    auto sub = zm.model->derive_submodel(spec);
+    updates.push_back(make_edge_update(
+        *sub, {std::vector<double>(16, 1.0 / 16)}, 100));
+  }
+  for (auto _ : state) {
+    aggregate_module_wise(*zm.model, updates);
+  }
+}
+BENCHMARK(BM_ModuleWiseAggregation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

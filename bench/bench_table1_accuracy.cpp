@@ -1,0 +1,73 @@
+// Table 1 — Model accuracy of Nebula and baselines after an adaptation step.
+//
+// Protocol (paper §6.2): pre-train on the cloud proxy data (the historical
+// 30%), warm-up adaptation on edge data, shift every device's environment,
+// run one adaptation step per method, measure per-device accuracy on each
+// device's current local task.
+//
+// Paper reference values are printed next to the measured values. Absolute
+// numbers differ (synthetic substrate, scaled-down models); the reproduction
+// target is the shape: Nebula on top, on-device adaptation (LA/AN) strong,
+// naive collaborative methods (FA/HFL) hurt by non-IID data, NA at the
+// bottom among the adaptive methods.
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+
+namespace {
+
+struct PaperRow {
+  const char* dataset;
+  const char* partition;
+  double na, la, an, fa, hfl, nebula;
+};
+
+// Values from Table 1 of the paper.
+const PaperRow kPaperRows[] = {
+    {"HAR", "1 subject", 93.96, 96.07, 97.42, 97.35, 98.31, 98.63},
+    {"CIFAR10", "2 classes", 73.55, 84.19, 87.63, 73.68, 70.19, 90.86},
+    {"CIFAR10", "5 classes", 73.55, 73.56, 81.17, 76.12, 77.32, 85.76},
+    {"CIFAR100", "10 classes", 56.79, 67.10, 69.89, 60.81, 52.54, 74.20},
+    {"CIFAR100", "20 classes", 56.79, 58.03, 67.53, 61.66, 55.23, 75.68},
+    {"Speech", "5 classes", 62.72, 60.52, 69.33, 70.48, 71.73, 80.87},
+    {"Speech", "10 classes", 62.72, 59.04, 67.91, 73.55, 72.34, 77.16},
+};
+
+}  // namespace
+
+int main() {
+  using namespace nebula;
+  const BenchScale scale = BenchScale::from_env();
+  std::printf("Table 1: accuracy after one adaptation step "
+              "(%lld devices, %lld/round, %lld warm rounds)\n",
+              static_cast<long long>(scale.devices),
+              static_cast<long long>(scale.devices_per_round),
+              static_cast<long long>(scale.warm_rounds));
+
+  Table table({"Dataset", "Partition", "Method", "Paper (%)", "Measured (%)"});
+  const auto tasks = paper_tasks();
+  for (std::size_t row = 0; row < tasks.size(); ++row) {
+    TaskEnv env = make_task_env(tasks[row], scale, 1000 + row);
+    AdaptationResult res = run_adaptation_comparison(env, scale, 100 + row);
+    const PaperRow& p = kPaperRows[row];
+    const char* ds = tasks[row].dataset_name.c_str();
+    const char* part = tasks[row].partition_name.c_str();
+    table.add_row({ds, part, "NA", Table::num(p.na), Table::num(res.na * 100)});
+    table.add_row({ds, part, "LA", Table::num(p.la), Table::num(res.la * 100)});
+    table.add_row({ds, part, "AN", Table::num(p.an), Table::num(res.an * 100)});
+    table.add_row({ds, part, "FA", Table::num(p.fa), Table::num(res.fa * 100)});
+    table.add_row(
+        {ds, part, "HFL", Table::num(p.hfl), Table::num(res.hfl * 100)});
+    table.add_row({ds, part, "Nebula", Table::num(p.nebula),
+                   Table::num(res.nebula * 100)});
+    std::fflush(stdout);
+  }
+  table.print();
+
+  std::printf(
+      "\nShape check: within each row, Nebula should lead, LA/AN should beat\n"
+      "NA, and FA/HFL should suffer under strong label skew — mirroring the\n"
+      "paper's columns.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario: federated keyword spotting with Nebula vs FedAvg.
+//
+// Voice assistants on heterogeneous devices each hear a small vocabulary
+// subset (label skew). The example runs both FedAvg and Nebula over the same
+// fleet and prints, per round, the fleet accuracy and cumulative
+// communication — reproducing in miniature the paper's §6.2 comparison
+// (module-wise aggregation converges faster and ships fewer bytes under
+// non-IID data).
+#include <cstdio>
+
+#include "baselines/fedavg.h"
+#include "core/nebula.h"
+#include "nn/init.h"
+
+int main() {
+  using namespace nebula;
+
+  SyntheticGenerator generator(speech_like_spec(), 33);
+  PartitionConfig partition;
+  partition.num_devices = 24;
+  partition.classes_per_device = 5;
+  partition.clusters_per_device = 2;
+  EdgePopulation population(generator, partition);
+  ProfileSampler profiler(4);
+  auto profiles = profiler.sample_fleet(partition.num_devices);
+  auto proxy = population.proxy_data_ex(1500);
+  TrainConfig pretrain;
+  pretrain.epochs = 6;
+
+  init::reseed(61);
+  FedAvgConfig fa_cfg;
+  fa_cfg.devices_per_round = 8;
+  FedAvg fedavg(make_plain_resnet34({1, 16, 8}, 35, 1.0), population, fa_cfg);
+  fedavg.pretrain(proxy.data, pretrain);
+
+  auto zoo = make_modular_resnet34({1, 16, 8}, 35);
+  NebulaConfig nb_cfg;
+  nb_cfg.devices_per_round = 8;
+  nb_cfg.pretrain.epochs = 6;
+  NebulaSystem nebula(std::move(zoo), population, profiles, nb_cfg);
+  nebula.offline(proxy);
+
+  auto fleet_acc = [&](auto&& eval) {
+    double acc = 0.0;
+    const std::int64_t n = 10;
+    for (std::int64_t k = 0; k < n; ++k) acc += eval(k);
+    return acc / static_cast<double>(n);
+  };
+
+  std::printf("%-6s %-22s %-22s\n", "round", "FedAvg acc / MB",
+              "Nebula acc / MB");
+  for (int round = 0; round < 6; ++round) {
+    fedavg.round();
+    nebula.round();
+    const double fa_acc = fleet_acc(
+        [&](std::int64_t k) { return fedavg.eval_device(k, 128); });
+    const double nb_acc = fleet_acc(
+        [&](std::int64_t k) { return nebula.eval_derived(k, 128); });
+    std::printf("%-6d %.3f / %-12.2f  %.3f / %-12.2f\n", round, fa_acc,
+                fedavg.ledger().total_mb(), nb_acc,
+                nebula.ledger().total_mb());
+  }
+  std::printf("\nNebula ships sub-models (plus a one-time selector download "
+              "per device) instead of the full model every round, and its "
+              "module-wise aggregation handles the vocabulary skew.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "baselines/fedavg.h"
+
+#include "nn/state.h"
+
+namespace nebula {
+
+FedAvg::FedAvg(LayerPtr global_model, EdgePopulation& pop, FedAvgConfig cfg)
+    : global_(std::move(global_model)), pop_(pop), cfg_(cfg),
+      rng_(cfg.seed) {
+  NEBULA_CHECK(global_ != nullptr);
+}
+
+void FedAvg::pretrain(const Dataset& proxy, const TrainConfig& cfg) {
+  train_plain(*global_, proxy, cfg);
+}
+
+std::vector<std::int64_t> FedAvg::round() {
+  const std::int64_t n = pop_.num_devices();
+  const std::int64_t m = std::min(cfg_.devices_per_round, n);
+  auto pick = rng_.choose(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(m));
+
+  const std::vector<float> global_state = get_state(*global_);
+  const std::int64_t bytes = state_bytes(*global_);
+
+  std::vector<std::vector<float>> states;
+  std::vector<double> weights;
+  std::vector<std::int64_t> participants;
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+    participants.push_back(k);
+    ledger_.record_download(bytes);
+    auto local = global_->clone();
+    TrainConfig cfg = cfg_.local;
+    cfg.seed = rng_.next_u64();
+    train_plain(*local, pop_.local_data(k), cfg);
+    ledger_.record_upload(bytes);
+    states.push_back(get_state(*local));
+    weights.push_back(static_cast<double>(pop_.local_data(k).size()));
+  }
+
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+  std::vector<float> merged(global_state.size(), 0.0f);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const float w = static_cast<float>(weights[i] / wsum);
+    for (std::size_t e = 0; e < merged.size(); ++e) {
+      merged[e] += w * states[i][e];
+    }
+  }
+  set_state(*global_, merged);
+  return participants;
+}
+
+float FedAvg::eval_device(std::int64_t k, std::int64_t test_n) {
+  Dataset test = pop_.device_test(k, test_n);
+  return evaluate_plain(*global_, test);
+}
+
+}  // namespace nebula

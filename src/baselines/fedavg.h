@@ -1,0 +1,52 @@
+// FedAvg baseline (McMahan et al. 2017): every participating device
+// downloads the full global model, trains it on its local data, and uploads
+// the full state; the cloud averages by sample count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/train.h"
+#include "data/partition.h"
+#include "sim/cost_model.h"
+
+namespace nebula {
+
+struct FedAvgConfig {
+  TrainConfig local;  // per-device epochs/lr
+  std::int64_t devices_per_round = 10;
+  std::uint64_t seed = 11;
+
+  FedAvgConfig() {
+    local.epochs = 3;
+    local.lr = 0.02f;
+  }
+};
+
+class FedAvg {
+ public:
+  FedAvg(LayerPtr global_model, EdgePopulation& pop, FedAvgConfig cfg);
+
+  /// Centralised pre-training on the cloud proxy data.
+  void pretrain(const Dataset& proxy, const TrainConfig& cfg);
+
+  /// One communication round; returns participating device ids.
+  std::vector<std::int64_t> round();
+
+  /// Accuracy of the global model on device k's current task.
+  float eval_device(std::int64_t k, std::int64_t test_n = 256);
+
+  Layer& global() { return *global_; }
+  CommLedger& ledger() { return ledger_; }
+
+ private:
+  LayerPtr global_;
+  EdgePopulation& pop_;
+  FedAvgConfig cfg_;
+  CommLedger ledger_;
+  Rng rng_;
+};
+
+}  // namespace nebula

@@ -1,0 +1,83 @@
+#include "baselines/heterofl.h"
+
+#include <algorithm>
+
+#include "nn/state.h"
+
+namespace nebula {
+
+HeteroFL::HeteroFL(std::function<LayerPtr(double)> factory,
+                   EdgePopulation& pop,
+                   const std::vector<DeviceProfile>& profiles,
+                   HeteroFLConfig cfg)
+    : factory_(std::move(factory)), pop_(pop), cfg_(std::move(cfg)),
+      rng_(cfg_.seed) {
+  NEBULA_CHECK(!cfg_.widths.empty());
+  std::vector<double> widths = cfg_.widths;
+  std::sort(widths.begin(), widths.end());
+  cfg_.widths = widths;
+  global_ = factory_(widths.back());
+  NEBULA_CHECK(global_ != nullptr);
+  NEBULA_CHECK(static_cast<std::int64_t>(profiles.size()) ==
+               pop_.num_devices());
+
+  // Capacity quantiles map devices onto width tiers evenly.
+  const auto tiers = assign_tiers_by_capacity(profiles, widths.size());
+  device_width_.reserve(profiles.size());
+  for (std::size_t k = 0; k < profiles.size(); ++k) {
+    device_width_.push_back(widths[tiers[k]]);
+  }
+}
+
+void HeteroFL::pretrain(const Dataset& proxy, const TrainConfig& cfg) {
+  // Nested pre-training: cycle the width tiers on the proxy data and fold
+  // each trained tier back into the global model, so every prefix block is a
+  // functional model (training only the full model would leave the smaller
+  // tiers' prefixes non-functional — HeteroFL trains all tiers jointly).
+  TrainConfig per_pass = cfg;
+  per_pass.epochs = 1;
+  for (std::int64_t e = 0; e < cfg.epochs; ++e) {
+    for (double w : cfg_.widths) {
+      auto tier = factory_(w);
+      nested_extract(*global_, *tier);
+      per_pass.seed = rng_.next_u64();
+      train_plain(*tier, proxy, per_pass);
+      NestedAggregator agg(*global_);
+      agg.add(*tier, 1.0);
+      agg.finish(*global_);
+    }
+  }
+}
+
+std::vector<std::int64_t> HeteroFL::round() {
+  const std::int64_t n = pop_.num_devices();
+  const std::int64_t m = std::min(cfg_.devices_per_round, n);
+  auto pick = rng_.choose(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(m));
+
+  NestedAggregator agg(*global_);
+  std::vector<std::int64_t> participants;
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+    participants.push_back(k);
+    auto sub = factory_(device_width_[static_cast<std::size_t>(k)]);
+    nested_extract(*global_, *sub);
+    ledger_.record_download(state_bytes(*sub));
+    TrainConfig cfg = cfg_.local;
+    cfg.seed = rng_.next_u64();
+    train_plain(*sub, pop_.local_data(k), cfg);
+    ledger_.record_upload(state_bytes(*sub));
+    agg.add(*sub, static_cast<double>(pop_.local_data(k).size()));
+  }
+  agg.finish(*global_);
+  return participants;
+}
+
+float HeteroFL::eval_device(std::int64_t k, std::int64_t test_n) {
+  auto sub = factory_(device_width_[static_cast<std::size_t>(k)]);
+  nested_extract(*global_, *sub);
+  Dataset test = pop_.device_test(k, test_n);
+  return evaluate_plain(*sub, test);
+}
+
+}  // namespace nebula

@@ -1,0 +1,63 @@
+// HeteroFL baseline (Diao et al., ICLR '21): the cloud maintains a full-width
+// global model; each device trains a nested width-scaled sub-model matched to
+// its resources (parameters shared as prefix blocks), and the cloud
+// aggregates element-wise over the covered regions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/nested.h"
+#include "common/rng.h"
+#include "core/train.h"
+#include "data/partition.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+
+namespace nebula {
+
+struct HeteroFLConfig {
+  TrainConfig local;
+  std::int64_t devices_per_round = 10;
+  /// Width tiers; each device is assigned the largest tier its (relative)
+  /// memory capacity affords.
+  std::vector<double> widths = {0.5, 0.75, 1.0};
+  std::uint64_t seed = 13;
+
+  HeteroFLConfig() {
+    local.epochs = 3;
+    local.lr = 0.02f;
+  }
+};
+
+class HeteroFL {
+ public:
+  /// `factory(width)` builds the task model at a given width multiplier.
+  HeteroFL(std::function<LayerPtr(double)> factory, EdgePopulation& pop,
+           const std::vector<DeviceProfile>& profiles, HeteroFLConfig cfg);
+
+  void pretrain(const Dataset& proxy, const TrainConfig& cfg);
+  std::vector<std::int64_t> round();
+
+  /// Accuracy of device k's width tier extracted from the global model.
+  float eval_device(std::int64_t k, std::int64_t test_n = 256);
+
+  double device_width(std::int64_t k) const {
+    return device_width_.at(static_cast<std::size_t>(k));
+  }
+  Layer& global() { return *global_; }
+  CommLedger& ledger() { return ledger_; }
+
+ private:
+  std::function<LayerPtr(double)> factory_;
+  LayerPtr global_;
+  EdgePopulation& pop_;
+  HeteroFLConfig cfg_;
+  std::vector<double> device_width_;
+  CommLedger ledger_;
+  Rng rng_;
+};
+
+}  // namespace nebula

@@ -1,0 +1,110 @@
+#include "baselines/nested.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace nebula {
+
+namespace {
+
+/// Enumerates all tensors (params then buffers) of a model.
+std::vector<Tensor*> all_tensors(Layer& model) {
+  std::vector<Tensor*> out;
+  for (Param* p : model.params()) out.push_back(&p->value);
+  for (Tensor* b : model.buffers()) out.push_back(b);
+  return out;
+}
+
+/// Invokes fn(sub_flat_index, full_flat_index) for every element of the
+/// prefix block of `full_shape` with extents `sub_shape`.
+void for_prefix(const std::vector<std::int64_t>& sub_shape,
+                const std::vector<std::int64_t>& full_shape,
+                const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  NEBULA_CHECK(sub_shape.size() == full_shape.size());
+  for (std::size_t d = 0; d < sub_shape.size(); ++d) {
+    NEBULA_CHECK_MSG(sub_shape[d] <= full_shape[d],
+                     "sub tensor exceeds full tensor in dim " << d);
+  }
+  const std::size_t rank = sub_shape.size();
+  std::vector<std::int64_t> idx(rank, 0);
+  // Row-major strides of the full tensor.
+  std::vector<std::int64_t> stride(rank, 1);
+  for (std::size_t d = rank - 1; d-- > 0;) {
+    stride[d] = stride[d + 1] * full_shape[d + 1];
+  }
+  std::int64_t sub_flat = 0;
+  for (;;) {
+    std::int64_t full_flat = 0;
+    for (std::size_t d = 0; d < rank; ++d) full_flat += idx[d] * stride[d];
+    fn(sub_flat, full_flat);
+    ++sub_flat;
+    // Odometer increment over sub_shape.
+    std::size_t d = rank;
+    while (d-- > 0) {
+      if (++idx[d] < sub_shape[d]) break;
+      idx[d] = 0;
+      if (d == 0) return;
+    }
+    if (d == static_cast<std::size_t>(-1)) return;
+  }
+}
+
+}  // namespace
+
+void nested_extract(Layer& full, Layer& sub) {
+  auto ft = all_tensors(full);
+  auto st = all_tensors(sub);
+  NEBULA_CHECK_MSG(ft.size() == st.size(),
+                   "nested models disagree on tensor count: " << ft.size()
+                                                              << " vs "
+                                                              << st.size());
+  for (std::size_t i = 0; i < ft.size(); ++i) {
+    const Tensor& f = *ft[i];
+    Tensor& s = *st[i];
+    for_prefix(s.shape(), f.shape(), [&](std::int64_t si, std::int64_t fi) {
+      s[static_cast<std::size_t>(si)] = f[static_cast<std::size_t>(fi)];
+    });
+  }
+}
+
+NestedAggregator::NestedAggregator(Layer& full) {
+  for (Tensor* t : all_tensors(full)) {
+    sums_.emplace_back(static_cast<std::size_t>(t->numel()), 0.0);
+    weights_.emplace_back(static_cast<std::size_t>(t->numel()), 0.0);
+    shapes_.push_back(t->shape());
+  }
+}
+
+void NestedAggregator::add(Layer& sub, double weight) {
+  NEBULA_CHECK(weight > 0.0);
+  auto st = all_tensors(sub);
+  NEBULA_CHECK(st.size() == sums_.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    const Tensor& s = *st[i];
+    auto& sum = sums_[i];
+    auto& w = weights_[i];
+    for_prefix(s.shape(), shapes_[i], [&](std::int64_t si, std::int64_t fi) {
+      sum[static_cast<std::size_t>(fi)] +=
+          weight * s[static_cast<std::size_t>(si)];
+      w[static_cast<std::size_t>(fi)] += weight;
+    });
+  }
+}
+
+void NestedAggregator::finish(Layer& full) {
+  auto ft = all_tensors(full);
+  NEBULA_CHECK(ft.size() == sums_.size());
+  for (std::size_t i = 0; i < ft.size(); ++i) {
+    Tensor& f = *ft[i];
+    for (std::int64_t e = 0; e < f.numel(); ++e) {
+      const double w = weights_[i][static_cast<std::size_t>(e)];
+      if (w > 0.0) {
+        f[static_cast<std::size_t>(e)] =
+            static_cast<float>(sums_[i][static_cast<std::size_t>(e)] / w);
+      }
+    }
+  }
+}
+
+}  // namespace nebula

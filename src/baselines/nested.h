@@ -1,0 +1,40 @@
+// Nested width-scaled parameter sharing (HeteroFL-style).
+//
+// A width-r model produced by the same factory as the width-1 model has
+// parameters that embed as the *prefix block* of the width-1 parameters
+// (first r·C channels / neurons in every hidden dimension, with kernel
+// layout preserved). These helpers move state between nested models and
+// aggregate heterogeneous updates element-wise over covered regions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nebula {
+
+/// Copies the prefix block of every parameter/buffer of `full` into `sub`.
+/// `sub` must come from the same factory at a smaller (or equal) width.
+void nested_extract(Layer& full, Layer& sub);
+
+/// Element-wise weighted aggregation of nested sub-model states into a full
+/// model: elements covered by at least one update become the weighted
+/// average of their updates; uncovered elements keep the full model's value.
+class NestedAggregator {
+ public:
+  explicit NestedAggregator(Layer& full);
+
+  /// Accumulates one trained sub-model with the given weight (> 0).
+  void add(Layer& sub, double weight);
+
+  /// Writes the aggregate back into the full model.
+  void finish(Layer& full);
+
+ private:
+  std::vector<std::vector<double>> sums_;     // per tensor, per element
+  std::vector<std::vector<double>> weights_;  // per tensor, per element
+  std::vector<std::vector<std::int64_t>> shapes_;
+};
+
+}  // namespace nebula

@@ -1,0 +1,70 @@
+#include "baselines/onbaselines.h"
+
+#include <algorithm>
+
+namespace nebula {
+
+LocalAdaptation::LocalAdaptation(LayerPtr pretrained, EdgePopulation& pop,
+                                 TrainConfig local)
+    : pretrained_(std::move(pretrained)), pop_(pop), local_(local),
+      rng_(local.seed) {
+  NEBULA_CHECK(pretrained_ != nullptr);
+  device_models_.resize(static_cast<std::size_t>(pop_.num_devices()));
+}
+
+void LocalAdaptation::adapt_device(std::int64_t k) {
+  auto& model = device_models_.at(static_cast<std::size_t>(k));
+  if (!model) model = pretrained_->clone();
+  TrainConfig cfg = local_;
+  cfg.seed = rng_.next_u64();
+  train_plain(*model, pop_.local_data(k), cfg);
+}
+
+float LocalAdaptation::eval_device(std::int64_t k, std::int64_t test_n) {
+  auto& model = device_models_.at(static_cast<std::size_t>(k));
+  Layer& m = model ? *model : *pretrained_;
+  Dataset test = pop_.device_test(k, test_n);
+  return evaluate_plain(m, test);
+}
+
+AdaptiveNetLike::AdaptiveNetLike(std::function<LayerPtr(double)> factory,
+                                 std::vector<double> widths,
+                                 EdgePopulation& pop,
+                                 const std::vector<DeviceProfile>& profiles,
+                                 TrainConfig local)
+    : factory_(std::move(factory)), widths_(std::move(widths)), pop_(pop),
+      local_(local), rng_(local.seed) {
+  NEBULA_CHECK(!widths_.empty());
+  std::sort(widths_.begin(), widths_.end());
+  NEBULA_CHECK(static_cast<std::int64_t>(profiles.size()) ==
+               pop_.num_devices());
+  for (double w : widths_) branches_.push_back(factory_(w));
+
+  branch_of_ = assign_tiers_by_capacity(profiles, widths_.size());
+  device_models_.resize(static_cast<std::size_t>(pop_.num_devices()));
+}
+
+void AdaptiveNetLike::pretrain(const Dataset& proxy, const TrainConfig& cfg) {
+  for (auto& branch : branches_) train_plain(*branch, proxy, cfg);
+}
+
+void AdaptiveNetLike::adapt_device(std::int64_t k) {
+  auto& model = device_models_.at(static_cast<std::size_t>(k));
+  if (!model) {
+    model = branches_.at(branch_of_.at(static_cast<std::size_t>(k)))->clone();
+  }
+  TrainConfig cfg = local_;
+  cfg.seed = rng_.next_u64();
+  train_plain(*model, pop_.local_data(k), cfg);
+}
+
+float AdaptiveNetLike::eval_device(std::int64_t k, std::int64_t test_n) {
+  auto& model = device_models_.at(static_cast<std::size_t>(k));
+  Layer& m = model
+                 ? *model
+                 : *branches_.at(branch_of_.at(static_cast<std::size_t>(k)));
+  Dataset test = pop_.device_test(k, test_n);
+  return evaluate_plain(m, test);
+}
+
+}  // namespace nebula

@@ -1,0 +1,103 @@
+// Non-collaborative baselines.
+//
+// * NoAdaptation (NA): devices run the static pre-trained cloud model.
+// * LocalAdaptation (LA): each device fine-tunes a private copy of the
+//   pre-trained model on its own data — no collaboration.
+// * AdaptiveNetLike (AN): the cloud pre-trains a multi-branch supernet
+//   (width tiers); each device picks the largest branch its resources afford
+//   and adapts that branch locally (Wen et al., MobiCom '23 — post-deployment
+//   architecture adaptation, but no new-data collaboration with the cloud).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/train.h"
+#include "data/partition.h"
+#include "sim/device.h"
+
+namespace nebula {
+
+/// Static cloud model: pre-train once, never adapt.
+class NoAdaptation {
+ public:
+  NoAdaptation(LayerPtr model, EdgePopulation& pop)
+      : model_(std::move(model)), pop_(pop) {
+    NEBULA_CHECK(model_ != nullptr);
+  }
+
+  void pretrain(const Dataset& proxy, const TrainConfig& cfg) {
+    train_plain(*model_, proxy, cfg);
+  }
+
+  float eval_device(std::int64_t k, std::int64_t test_n = 256) {
+    Dataset test = pop_.device_test(k, test_n);
+    return evaluate_plain(*model_, test);
+  }
+
+  Layer& model() { return *model_; }
+
+ private:
+  LayerPtr model_;
+  EdgePopulation& pop_;
+};
+
+/// Per-device local fine-tuning of the pre-trained model.
+class LocalAdaptation {
+ public:
+  LocalAdaptation(LayerPtr pretrained, EdgePopulation& pop, TrainConfig local);
+
+  void pretrain(const Dataset& proxy, const TrainConfig& cfg) {
+    train_plain(*pretrained_, proxy, cfg);
+  }
+
+  /// Fine-tunes device k's private copy on its current local data (creates
+  /// the copy from the pre-trained model on first call).
+  void adapt_device(std::int64_t k);
+
+  float eval_device(std::int64_t k, std::int64_t test_n = 256);
+
+ private:
+  LayerPtr pretrained_;
+  EdgePopulation& pop_;
+  TrainConfig local_;
+  std::vector<LayerPtr> device_models_;
+  Rng rng_;
+};
+
+/// Multi-branch supernet with local branch selection and adaptation.
+class AdaptiveNetLike {
+ public:
+  /// `factory(width)` builds one branch; widths are the branch tiers.
+  AdaptiveNetLike(std::function<LayerPtr(double)> factory,
+                  std::vector<double> widths, EdgePopulation& pop,
+                  const std::vector<DeviceProfile>& profiles,
+                  TrainConfig local);
+
+  /// Pre-trains every branch on the proxy data (offline supernet training).
+  void pretrain(const Dataset& proxy, const TrainConfig& cfg);
+
+  /// Device k adapts its selected branch locally.
+  void adapt_device(std::int64_t k);
+
+  float eval_device(std::int64_t k, std::int64_t test_n = 256);
+
+  double device_width(std::int64_t k) const {
+    return widths_.at(branch_of_.at(static_cast<std::size_t>(k)));
+  }
+
+ private:
+  std::function<LayerPtr(double)> factory_;
+  std::vector<double> widths_;
+  EdgePopulation& pop_;
+  TrainConfig local_;
+  std::vector<LayerPtr> branches_;          // pre-trained branch per tier
+  std::vector<std::size_t> branch_of_;      // device -> tier index
+  std::vector<LayerPtr> device_models_;     // device-local adapted branch
+  Rng rng_;
+};
+
+}  // namespace nebula

@@ -1,0 +1,39 @@
+// Lightweight runtime assertion macros used across the library.
+//
+// NEBULA_CHECK is always on (including Release builds): the library's public
+// API validates shapes and budgets, and silent out-of-bounds access in a
+// numerical code base is far more expensive than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nebula::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NEBULA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace nebula::detail
+
+#define NEBULA_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::nebula::detail::check_failed(#cond, __FILE__, __LINE__, "");        \
+    }                                                                       \
+  } while (false)
+
+#define NEBULA_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream nebula_check_os_;                                  \
+      nebula_check_os_ << msg;                                              \
+      ::nebula::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                     nebula_check_os_.str());               \
+    }                                                                       \
+  } while (false)

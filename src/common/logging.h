@@ -1,0 +1,57 @@
+// Minimal leveled logger. Experiments log progress at Info; the test suite
+// raises the threshold to Warn to keep ctest output readable.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace nebula {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)],
+                 msg.c_str());
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace nebula
+
+#define NEBULA_LOG(level) ::nebula::detail::LogLine(::nebula::LogLevel::level)

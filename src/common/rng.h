@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (weight init, data synthesis,
+// noisy top-k routing, device sampling) draws from an explicitly seeded
+// `Rng` so that a whole experiment is a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace nebula {
+
+/// xoshiro256** — small, fast, high-quality PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a single 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    auto splitmix = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = splitmix();
+    has_gauss_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (cached pair).
+  float normal() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    float u1 = uniform();
+    while (u1 <= 1e-12f) u1 = uniform();
+    const float u2 = uniform();
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_int(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n).
+  std::vector<std::size_t> choose(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    shuffle(idx);
+    idx.resize(k);
+    return idx;
+  }
+
+  /// Fork a statistically independent child stream (for per-device RNGs).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool has_gauss_ = false;
+  float cached_gauss_ = 0.0f;
+};
+
+}  // namespace nebula

@@ -1,0 +1,68 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// rows/series of the paper's tables and figures.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nebula {
+
+/// Accumulates rows of strings and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row) {
+    NEBULA_CHECK_MSG(row.size() == header_.size(),
+                     "row has " << row.size() << " cells, header has "
+                                << header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Format a float with fixed precision — convenience for numeric cells.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_sep = [&] {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << '+' << std::string(width[c] + 2, '-');
+      }
+      os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+           << row[c] << ' ';
+      }
+      os << "|\n";
+    };
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nebula

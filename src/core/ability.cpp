@@ -1,0 +1,129 @@
+#include "core/ability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/assignment_lp.h"
+
+namespace nebula {
+
+std::vector<std::vector<float>> compute_mapping_matrix(
+    ModuleSelector& selector, const Dataset& data,
+    const std::vector<std::int64_t>& sample_subtasks,
+    std::int64_t num_subtasks) {
+  NEBULA_CHECK(data.size() > 0 && num_subtasks > 0);
+  NEBULA_CHECK(sample_subtasks.size() == static_cast<std::size_t>(data.size()));
+
+  const std::size_t l_count = selector.num_layers();
+  std::vector<std::vector<double>> acc(l_count);
+  for (std::size_t l = 0; l < l_count; ++l) {
+    acc[l].assign(static_cast<std::size_t>(num_subtasks *
+                                           selector.layer_width(l)),
+                  0.0);
+  }
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_subtasks), 0);
+
+  constexpr std::int64_t kBatch = 64;
+  for (std::int64_t lo = 0; lo < data.size(); lo += kBatch) {
+    const std::int64_t hi = std::min(data.size(), lo + kBatch);
+    std::vector<std::size_t> idx;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      idx.push_back(static_cast<std::size_t>(i));
+    }
+    Tensor x = data.batch_view(idx);
+    const std::int64_t b = x.dim(0);
+    x.reshape({b, x.numel() / b});
+    GateResult gates = selector.forward(x, /*train=*/false);
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      const std::int64_t t = sample_subtasks[idx[r]];
+      NEBULA_CHECK_MSG(t >= 0 && t < num_subtasks,
+                       "sub-task id out of range: " << t);
+      ++counts[static_cast<std::size_t>(t)];
+      for (std::size_t l = 0; l < l_count; ++l) {
+        const std::int64_t n = selector.layer_width(l);
+        const float* row = gates.probs[l].data() +
+                           static_cast<std::int64_t>(r) * n;
+        double* dst = acc[l].data() + t * n;
+        for (std::int64_t i = 0; i < n; ++i) dst[i] += row[i];
+      }
+    }
+  }
+
+  std::vector<std::vector<float>> h(l_count);
+  for (std::size_t l = 0; l < l_count; ++l) {
+    const std::int64_t n = selector.layer_width(l);
+    h[l].resize(acc[l].size());
+    for (std::int64_t t = 0; t < num_subtasks; ++t) {
+      const double c = std::max<std::int64_t>(1, counts[static_cast<std::size_t>(t)]);
+      for (std::int64_t i = 0; i < n; ++i) {
+        h[l][static_cast<std::size_t>(t * n + i)] =
+            static_cast<float>(acc[l][static_cast<std::size_t>(t * n + i)] / c);
+      }
+    }
+  }
+  return h;
+}
+
+AbilityResult enhance_ability(ModularModel& model, ModuleSelector& selector,
+                              const Dataset& data,
+                              const std::vector<std::int64_t>& sample_subtasks,
+                              std::int64_t num_subtasks,
+                              const AbilityConfig& cfg) {
+  AbilityResult res;
+  res.mapping =
+      compute_mapping_matrix(selector, data, sample_subtasks, num_subtasks);
+
+  const std::size_t l_count = selector.num_layers();
+  res.mask.resize(l_count);
+  res.target.resize(l_count);
+  for (std::size_t l = 0; l < l_count; ++l) {
+    const std::int64_t n = selector.layer_width(l);
+    AssignmentProblem problem;
+    problem.num_subtasks = num_subtasks;
+    problem.num_modules = n;
+    problem.h.assign(res.mapping[l].begin(), res.mapping[l].end());
+    // Auto capacities: each sub-task keeps up to ~N/T modules (plus slack),
+    // each module serves up to ~T·kappa2/N sub-tasks (plus slack).
+    problem.kappa2 =
+        cfg.kappa2 > 0
+            ? cfg.kappa2
+            : std::max<std::int64_t>(2, n / std::max<std::int64_t>(
+                                             1, num_subtasks));
+    problem.kappa1 =
+        cfg.kappa1 > 0
+            ? cfg.kappa1
+            : std::max<std::int64_t>(
+                  1, (num_subtasks * problem.kappa2 + n - 1) / n + 1);
+    AssignmentResult assign = solve_assignment(problem);
+    res.mask[l] = assign.mask;
+
+    // P = H ⊙ M, rows renormalised into distributions.
+    std::vector<float> target(res.mapping[l].size(), 0.0f);
+    for (std::int64_t t = 0; t < num_subtasks; ++t) {
+      double row_sum = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::size_t ix = static_cast<std::size_t>(t * n + i);
+        if (assign.mask[ix]) {
+          target[ix] = res.mapping[l][ix];
+          row_sum += target[ix];
+        }
+      }
+      NEBULA_CHECK_MSG(row_sum > 0.0, "sub-task " << t << " lost coverage");
+      for (std::int64_t i = 0; i < n; ++i) {
+        target[static_cast<std::size_t>(t * n + i)] /=
+            static_cast<float>(row_sum);
+      }
+    }
+    res.target[l] = std::move(target);
+  }
+
+  GateGuidance guidance;
+  guidance.sample_subtasks = &sample_subtasks;
+  guidance.targets = &res.target;
+  guidance.weight = cfg.kl_weight;
+  res.finetune_stats = train_modular(model, selector, data, cfg.finetune,
+                                     &guidance);
+  return res;
+}
+
+}  // namespace nebula

@@ -1,0 +1,55 @@
+// Module ability-enhancing training (paper §4.3, Figure 5).
+//
+// Step 1 — sub-tasks are defined by the application (here: the data
+// partitioner's contexts, i.e. classes that appear together on devices).
+// Step 2 — the sub-task mapping matrix H (T x N per layer, h_tn = mean gate
+// probability of sub-task t on module n) is measured from the trained
+// selector, and a constrained 0/1 program (Eq. 1) picks the mask M that
+// focuses each module on the sub-tasks it is already best at.
+// Step 3 — fine-tuning attaches the recommended-module label g_label = P =
+// H ⊙ M (row-normalised) to each sample and adds a KL term pulling the
+// selector toward it while the modules keep training on their sub-tasks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/modular_model.h"
+#include "core/train.h"
+
+namespace nebula {
+
+struct AbilityConfig {
+  std::int64_t kappa1 = 0;  // max sub-tasks per module; 0 = auto
+  std::int64_t kappa2 = 0;  // max modules per sub-task; 0 = auto
+  float kl_weight = 0.5f;
+  TrainConfig finetune;     // fine-tuning hyper-parameters
+};
+
+struct AbilityResult {
+  /// Per layer: row-major T x N measured mapping matrix H.
+  std::vector<std::vector<float>> mapping;
+  /// Per layer: row-major T x N mask M from Eq. 1.
+  std::vector<std::vector<std::uint8_t>> mask;
+  /// Per layer: row-major T x N normalised target P = H ⊙ M.
+  std::vector<std::vector<float>> target;
+  TrainStats finetune_stats;
+};
+
+/// Measures H from the selector: per layer, h_tn = mean gate probability of
+/// module n over the samples whose sub-task is t. `sample_subtasks[i]` in
+/// [0, num_subtasks) labels data sample i.
+std::vector<std::vector<float>> compute_mapping_matrix(
+    ModuleSelector& selector, const Dataset& data,
+    const std::vector<std::int64_t>& sample_subtasks,
+    std::int64_t num_subtasks);
+
+/// Runs the full three-step ability-enhancing pass on a trained modular
+/// model, fine-tuning it in place.
+AbilityResult enhance_ability(ModularModel& model, ModuleSelector& selector,
+                              const Dataset& data,
+                              const std::vector<std::int64_t>& sample_subtasks,
+                              std::int64_t num_subtasks,
+                              const AbilityConfig& cfg);
+
+}  // namespace nebula

@@ -1,0 +1,98 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+namespace nebula {
+
+std::int64_t EdgeUpdate::payload_bytes() const {
+  std::int64_t floats = static_cast<std::int64_t>(shared_state.size());
+  for (const auto& layer : module_states) {
+    for (const auto& m : layer) floats += static_cast<std::int64_t>(m.size());
+  }
+  return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+EdgeUpdate make_edge_update(ModularModel& submodel,
+                            std::vector<std::vector<double>> importance,
+                            std::int64_t num_samples) {
+  EdgeUpdate up;
+  up.spec = submodel.full_spec();
+  up.importance = std::move(importance);
+  up.num_samples = num_samples;
+  up.shared_state = submodel.shared_state();
+  up.module_states.resize(up.spec.modules.size());
+  for (std::size_t l = 0; l < up.spec.modules.size(); ++l) {
+    for (std::int64_t gid : up.spec.modules[l]) {
+      up.module_states[l].push_back(submodel.module_state(l, gid));
+    }
+  }
+  return up;
+}
+
+void aggregate_module_wise(ModularModel& cloud,
+                           const std::vector<EdgeUpdate>& updates,
+                           AggregationWeighting weighting, float server_mix) {
+  if (updates.empty()) return;
+  NEBULA_CHECK(server_mix > 0.0f && server_mix <= 1.0f);
+  const std::size_t l_count = cloud.num_module_layers();
+  for (const auto& up : updates) {
+    NEBULA_CHECK_MSG(up.spec.modules.size() == l_count,
+                     "update layer count mismatch");
+    NEBULA_CHECK(up.module_states.size() == l_count);
+    NEBULA_CHECK(up.importance.size() == l_count);
+  }
+
+  // ---- Module-wise importance-weighted averaging -----------------------------
+  for (std::size_t l = 0; l < l_count; ++l) {
+    for (std::int64_t gid = 0; gid < cloud.full_widths()[l]; ++gid) {
+      // Collect every update carrying this module.
+      std::vector<const std::vector<float>*> states;
+      std::vector<double> weights;
+      for (const auto& up : updates) {
+        const auto& ids = up.spec.modules[l];
+        const auto it = std::find(ids.begin(), ids.end(), gid);
+        if (it == ids.end()) continue;
+        const std::size_t local = static_cast<std::size_t>(it - ids.begin());
+        states.push_back(&up.module_states[l][local]);
+        const double w =
+            weighting == AggregationWeighting::kImportance
+                ? std::max(1e-9, up.importance[l][static_cast<std::size_t>(gid)])
+                : 1.0;
+        weights.push_back(w);
+      }
+      if (states.empty()) continue;  // untouched module keeps cloud weights
+      std::vector<float> merged = cloud.module_state(l, gid);
+      if (merged.empty()) continue;  // parameter-free module (identity)
+      double wsum = 0.0;
+      for (double w : weights) wsum += w;
+      for (auto& v : merged) v *= (1.0f - server_mix);
+      for (std::size_t k = 0; k < states.size(); ++k) {
+        NEBULA_CHECK_MSG(states[k]->size() == merged.size(),
+                         "module state size mismatch during aggregation");
+        const float w = server_mix * static_cast<float>(weights[k] / wsum);
+        const auto& s = *states[k];
+        for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += w * s[i];
+      }
+      cloud.set_module_state(l, gid, merged);
+    }
+  }
+
+  // ---- Shared components: FedAvg by sample count ------------------------------
+  double n_total = 0.0;
+  for (const auto& up : updates) n_total += static_cast<double>(up.num_samples);
+  NEBULA_CHECK(n_total > 0.0);
+  std::vector<float> merged = cloud.shared_state();
+  for (auto& v : merged) v *= (1.0f - server_mix);
+  for (const auto& up : updates) {
+    NEBULA_CHECK_MSG(up.shared_state.size() == merged.size(),
+                     "shared state size mismatch during aggregation");
+    const float w =
+        server_mix * static_cast<float>(up.num_samples / n_total);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += w * up.shared_state[i];
+    }
+  }
+  cloud.set_shared_state(merged);
+}
+
+}  // namespace nebula

@@ -1,0 +1,55 @@
+// Module-wise sub-model aggregation (paper §5.2).
+//
+// Each module i is updated as the importance-weighted average of its copies
+// in the sub-models that contain it, with weights normalised over that set —
+// so a module is only ever averaged across devices whose data actually
+// exercises it, minimising the parameter conflicts that plain FedAvg suffers
+// under non-IID data. Shared components (stem/bridges/head) are averaged
+// FedAvg-style by local sample count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/modular_model.h"
+
+namespace nebula {
+
+/// A device's upload after local training.
+struct EdgeUpdate {
+  SubmodelSpec spec;
+  /// Per layer (aligned with spec.modules[l]): flat module states.
+  std::vector<std::vector<std::vector<float>>> module_states;
+  /// Flat stem/bridges/head state.
+  std::vector<float> shared_state;
+  /// Per layer, per *global* id: this device's importance scores.
+  std::vector<std::vector<double>> importance;
+  std::int64_t num_samples = 0;
+
+  /// Upload payload size in bytes (module + shared states).
+  std::int64_t payload_bytes() const;
+};
+
+enum class AggregationWeighting {
+  kImportance,  // the paper's scheme
+  kUniform,     // ablation: plain overlap averaging
+};
+
+/// Applies module-wise weighted aggregation of `updates` into `cloud`.
+/// Modules not present in any update keep their cloud parameters.
+/// `server_mix` blends the aggregate with the existing cloud state:
+/// new = (1-mix)·cloud + mix·aggregate. Use 1.0 for full synchronous rounds
+/// (FedAvg-style replacement) and a smaller value for continuous single-
+/// device updates, where replacement would let one biased device overwrite
+/// knowledge contributed by the rest of the fleet.
+void aggregate_module_wise(
+    ModularModel& cloud, const std::vector<EdgeUpdate>& updates,
+    AggregationWeighting weighting = AggregationWeighting::kImportance,
+    float server_mix = 1.0f);
+
+/// Builds the upload for a trained sub-model (copies its states out).
+EdgeUpdate make_edge_update(ModularModel& submodel,
+                            std::vector<std::vector<double>> importance,
+                            std::int64_t num_samples);
+
+}  // namespace nebula

@@ -1,0 +1,119 @@
+#include "core/edge_runtime.h"
+
+#include <algorithm>
+
+#include "sim/cost_model.h"
+
+namespace nebula {
+
+EdgeRuntime::EdgeRuntime(std::unique_ptr<ModularModel> submodel,
+                         std::vector<std::vector<double>> importance,
+                         DeviceProfile profile, std::int64_t batch,
+                         std::int64_t top_k)
+    : model_(std::move(submodel)), profile_(profile), batch_(batch),
+      top_k_(top_k) {
+  NEBULA_CHECK(model_ != nullptr);
+  NEBULA_CHECK(batch_ > 0 && top_k_ > 0);
+  NEBULA_CHECK_MSG(importance.size() == model_->num_module_layers(),
+                   "importance must cover every module layer");
+  build_plans(importance);
+}
+
+void EdgeRuntime::build_plans(
+    const std::vector<std::vector<double>>& importance) {
+  // Rank the resident modules of each layer by importance (descending).
+  const std::size_t l_count = model_->num_module_layers();
+  std::vector<std::vector<std::int64_t>> ranked(l_count);
+  std::size_t max_depth = 1;
+  for (std::size_t l = 0; l < l_count; ++l) {
+    auto ids = model_->module_layer(l).global_ids();
+    std::sort(ids.begin(), ids.end(), [&](std::int64_t a, std::int64_t b) {
+      const double ia = importance[l].at(static_cast<std::size_t>(a));
+      const double ib = importance[l].at(static_cast<std::size_t>(b));
+      if (ia != ib) return ia > ib;
+      return a < b;
+    });
+    max_depth = std::max(max_depth, ids.size());
+    ranked[l] = std::move(ids);
+  }
+
+  // Plan d keeps the top (max_depth - d) modules of each layer (at least 1).
+  plans_.clear();
+  for (std::size_t d = 0; d < max_depth; ++d) {
+    ExecutionPlan plan;
+    plan.spec.modules.resize(l_count);
+    for (std::size_t l = 0; l < l_count; ++l) {
+      const std::size_t keep =
+          std::max<std::size_t>(1, ranked[l].size() -
+                                       std::min(d, ranked[l].size() - 1));
+      plan.spec.modules[l].assign(ranked[l].begin(),
+                                  ranked[l].begin() +
+                                      static_cast<std::ptrdiff_t>(keep));
+      std::sort(plan.spec.modules[l].begin(), plan.spec.modules[l].end());
+    }
+    // Drop duplicate plans (layers bottom out at one module).
+    if (!plans_.empty() &&
+        plans_.back().spec.modules == plan.spec.modules) {
+      continue;
+    }
+    auto probe = model_->derive_submodel(plan.spec);
+    plan.params = probe->num_params();
+    const double flops =
+        static_cast<double>(probe->forward_flops(top_k_)) *
+        static_cast<double>(batch_);
+    const double overhead_s =
+        CostModel::dispatch_overhead_s(profile_, /*training=*/false);
+    plan.est_latency_ms =
+        (flops / profile_.flops_per_sec + overhead_s) * 1e3;
+    plans_.push_back(std::move(plan));
+  }
+  NEBULA_CHECK(!plans_.empty());
+}
+
+double EdgeRuntime::plan_latency_ms(const ExecutionPlan& plan,
+                                    const RuntimeMonitor& runtime) const {
+  return plan.est_latency_ms * runtime.contention_factor();
+}
+
+std::size_t EdgeRuntime::select_plan(double deadline_ms,
+                                     const RuntimeMonitor& runtime) {
+  NEBULA_CHECK(deadline_ms > 0.0);
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (plan_latency_ms(plans_[i], runtime) <= deadline_ms) {
+      active_ = i;
+      return active_;
+    }
+  }
+  active_ = plans_.size() - 1;  // degrade to the cheapest plan
+  return active_;
+}
+
+double EdgeRuntime::active_latency_ms(const RuntimeMonitor& runtime) const {
+  return plan_latency_ms(plans_.at(active_), runtime);
+}
+
+Tensor EdgeRuntime::infer(const Tensor& x, ModuleSelector& selector) {
+  Tensor flat = x;
+  const std::int64_t b = x.dim(0);
+  flat.reshape({b, x.numel() / b});
+  GateResult gates = selector.forward(flat, /*train=*/false);
+  // Mask gates outside the active plan so routing stays within it.
+  const auto& spec = plans_.at(active_).spec;
+  for (std::size_t l = 0; l < gates.probs.size(); ++l) {
+    const auto& allowed = spec.modules[l];
+    Tensor& p = gates.probs[l];
+    const std::int64_t n = p.dim(1);
+    for (std::int64_t r = 0; r < p.dim(0); ++r) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (!std::binary_search(allowed.begin(), allowed.end(), i)) {
+          p.data()[r * n + i] = 0.0f;
+        }
+      }
+    }
+  }
+  RoutingOpts opts;
+  opts.top_k = top_k_;
+  return model_->forward(x, gates, opts, /*train=*/false);
+}
+
+}  // namespace nebula

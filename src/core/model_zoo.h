@@ -1,0 +1,81 @@
+// Model factories for the paper's four task models, in both modularized
+// (Nebula) and plain width-scalable (baseline) forms.
+//
+// The architectures follow the paper's block patterns — MLP blocks,
+// ResNet-style residual conv blocks, VGG-style conv stacks — scaled down so
+// hundreds of federated training runs fit a CPU-only box (DESIGN.md §2).
+// Paper settings preserved: MLP has 1 module layer x 16 modules; the
+// ResNet18-style model has 4 module layers x 16 modules; the VGG16- and
+// ResNet34-style models modularize their last three blocks with 32 modules
+// each (deep layers hold most parameters, §6.1).
+//
+// Every module layer contains width-shrunk clones of its block (hidden sizes
+// at fractions of the base width) and, when input/output shapes match, one
+// residual (identity) module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/gating.h"
+#include "core/modular_model.h"
+
+namespace nebula {
+
+/// A modularized model bundled with its unified selector.
+struct ZooModel {
+  std::unique_ptr<ModularModel> model;
+  std::unique_ptr<ModuleSelector> selector;
+};
+
+struct ZooOptions {
+  std::int64_t modules_per_layer = 0;  // 0 = paper default for that family
+  std::int64_t selector_embed_dim = 32;
+  std::uint64_t init_seed = 0x5eed;
+};
+
+/// 3-layer MLP for HAR-like sensing (paper: 1 module layer x 16 modules).
+ZooModel make_modular_mlp(std::int64_t input_dim, std::int64_t num_classes,
+                          const ZooOptions& opts = {});
+
+/// ResNet18-style conv model (paper: 4 module layers x 16 modules).
+ZooModel make_modular_resnet18(const std::vector<std::int64_t>& sample_shape,
+                               std::int64_t num_classes,
+                               const ZooOptions& opts = {});
+
+/// VGG16-style conv model (paper: last three blocks, 32 modules each).
+ZooModel make_modular_vgg16(const std::vector<std::int64_t>& sample_shape,
+                            std::int64_t num_classes,
+                            const ZooOptions& opts = {});
+
+/// ResNet34-style conv model (paper: last three blocks, 32 modules each).
+ZooModel make_modular_resnet34(const std::vector<std::int64_t>& sample_shape,
+                               std::int64_t num_classes,
+                               const ZooOptions& opts = {});
+
+// ---- Plain (non-modular) counterparts for baselines ---------------------------
+//
+// `width` in (0, 1] scales every hidden/channel dimension (HeteroFL-style
+// nested widths: a width-r model's parameters embed as the prefix block of
+// the width-1 model's parameters, see baselines/heterofl.h).
+
+LayerPtr make_plain_mlp(std::int64_t input_dim, std::int64_t num_classes,
+                        double width = 1.0);
+LayerPtr make_plain_resnet18(const std::vector<std::int64_t>& sample_shape,
+                             std::int64_t num_classes, double width = 1.0);
+LayerPtr make_plain_vgg16(const std::vector<std::int64_t>& sample_shape,
+                          std::int64_t num_classes, double width = 1.0);
+LayerPtr make_plain_resnet34(const std::vector<std::int64_t>& sample_shape,
+                             std::int64_t num_classes, double width = 1.0);
+
+/// Identifies the paper's four task configurations for harness code.
+enum class TaskModel { kMlpHar, kResNet18, kVgg16, kResNet34 };
+
+ZooModel make_modular(TaskModel which,
+                      const std::vector<std::int64_t>& sample_shape,
+                      std::int64_t num_classes, const ZooOptions& opts = {});
+LayerPtr make_plain(TaskModel which,
+                    const std::vector<std::int64_t>& sample_shape,
+                    std::int64_t num_classes, double width = 1.0);
+
+}  // namespace nebula

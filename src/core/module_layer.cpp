@@ -1,0 +1,201 @@
+#include "core/module_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace nebula {
+
+ModuleLayer::ModuleLayer(std::vector<LayerPtr> modules,
+                         std::vector<std::int64_t> global_ids,
+                         std::int64_t full_width)
+    : modules_(std::move(modules)),
+      global_ids_(std::move(global_ids)),
+      full_width_(full_width) {
+  NEBULA_CHECK(!modules_.empty());
+  NEBULA_CHECK(modules_.size() == global_ids_.size());
+  NEBULA_CHECK(full_width_ >= static_cast<std::int64_t>(modules_.size()));
+  for (std::int64_t id : global_ids_) {
+    NEBULA_CHECK(id >= 0 && id < full_width_);
+  }
+}
+
+Tensor ModuleLayer::forward(const Tensor& x, const Tensor& gate_probs,
+                            const RoutingOpts& opts, bool train) {
+  const std::int64_t batch = x.dim(0);
+  NEBULA_CHECK_MSG(gate_probs.rank() == 2 && gate_probs.dim(0) == batch &&
+                       gate_probs.dim(1) == full_width_,
+                   "gate probs shape mismatch: " << gate_probs.shape_str());
+  NEBULA_CHECK(opts.top_k > 0);
+  NEBULA_CHECK_MSG(opts.noise_std == 0.0f || opts.rng != nullptr,
+                   "noisy top-k needs an RNG");
+  const std::size_t n_local = modules_.size();
+  const std::int64_t k =
+      std::min<std::int64_t>(opts.top_k, static_cast<std::int64_t>(n_local));
+
+  // Gather the local gate columns and decide routes per sample.
+  routes_.assign(static_cast<std::size_t>(batch), {});
+  assigned_.assign(n_local, {});
+  raw_gates_.assign(static_cast<std::size_t>(batch) * n_local, 0.0f);
+  std::vector<float> keys(n_local);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* row = gate_probs.data() + b * full_width_;
+    float* raw = raw_gates_.data() + static_cast<std::size_t>(b) * n_local;
+    for (std::size_t i = 0; i < n_local; ++i) {
+      raw[i] = row[global_ids_[i]];
+      keys[i] = (opts.noise_std > 0.0f)
+                    ? std::log(raw[i] + 1e-9f) + opts.noise_std * opts.rng->normal()
+                    : raw[i];
+    }
+    auto top = topk_indices(keys.data(), static_cast<std::int64_t>(n_local), k);
+    SampleRoute& route = routes_[static_cast<std::size_t>(b)];
+    float mass = 0.0f;
+    for (auto i : top) mass += raw[i];
+    route.gate_mass = std::max(mass, 1e-9f);
+    for (auto i : top) {
+      const std::size_t li = static_cast<std::size_t>(i);
+      route.local_modules.push_back(li);
+      route.weights.push_back(raw[li] / route.gate_mass);
+      assigned_[li].push_back(static_cast<std::size_t>(b));
+    }
+  }
+
+  // Establish the output shape from the first module.
+  in_shape_ = x.shape();
+  auto unit_in = in_shape_;
+  unit_in[0] = 1;
+  auto unit_out = modules_.front()->out_shape(unit_in);
+  out_shape_cached_ = unit_out;
+  out_shape_cached_[0] = batch;
+  const std::int64_t s_in = x.numel() / batch;
+  const std::int64_t s_out = Tensor::numel_from(unit_out);
+
+  Tensor y(out_shape_cached_);
+  module_outputs_.assign(n_local, Tensor{});
+  for (std::size_t m = 0; m < n_local; ++m) {
+    const auto& samples = assigned_[m];
+    if (samples.empty()) continue;
+    // Gather the sub-batch for module m.
+    auto sub_shape = in_shape_;
+    sub_shape[0] = static_cast<std::int64_t>(samples.size());
+    Tensor sub(sub_shape);
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+      const float* src = x.data() + static_cast<std::int64_t>(samples[r]) * s_in;
+      std::copy(src, src + s_in,
+                sub.data() + static_cast<std::int64_t>(r) * s_in);
+    }
+    Tensor out = modules_[m]->forward(sub, train);
+    NEBULA_CHECK_MSG(out.numel() / static_cast<std::int64_t>(samples.size()) ==
+                         s_out,
+                     "module output shape inconsistent within layer");
+    // Scatter weighted outputs into the combined result.
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+      const std::size_t b = samples[r];
+      const SampleRoute& route = routes_[b];
+      float w = 0.0f;
+      for (std::size_t j = 0; j < route.local_modules.size(); ++j) {
+        if (route.local_modules[j] == m) {
+          w = route.weights[j];
+          break;
+        }
+      }
+      const float* src = out.data() + static_cast<std::int64_t>(r) * s_out;
+      float* dst = y.data() + static_cast<std::int64_t>(b) * s_out;
+      for (std::int64_t i = 0; i < s_out; ++i) dst[i] += w * src[i];
+    }
+    if (train) module_outputs_[m] = std::move(out);
+  }
+  if (train) {
+    combined_output_ = y;
+  } else {
+    routes_.clear();
+    assigned_.clear();
+    module_outputs_.clear();
+  }
+  return y;
+}
+
+Tensor ModuleLayer::backward(const Tensor& grad_out) {
+  NEBULA_CHECK_MSG(!routes_.empty(),
+                   "ModuleLayer::backward without forward(train=true)");
+  const std::int64_t batch = in_shape_[0];
+  NEBULA_CHECK(grad_out.numel() == combined_output_.numel());
+  const std::int64_t s_in = Tensor::numel_from(in_shape_) / batch;
+  const std::int64_t s_out = combined_output_.numel() / batch;
+  const std::size_t n_local = modules_.size();
+
+  Tensor dx(in_shape_);
+  gate_grad_ = Tensor({batch, full_width_});
+
+  for (std::size_t m = 0; m < n_local; ++m) {
+    const auto& samples = assigned_[m];
+    if (samples.empty()) continue;
+    // Build the weighted gradient sub-batch for this module.
+    const Tensor& mout = module_outputs_[m];
+    Tensor gsub(mout.shape());
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+      const std::size_t b = samples[r];
+      const SampleRoute& route = routes_[b];
+      float w = 0.0f;
+      for (std::size_t j = 0; j < route.local_modules.size(); ++j) {
+        if (route.local_modules[j] == m) {
+          w = route.weights[j];
+          break;
+        }
+      }
+      const float* gy = grad_out.data() + static_cast<std::int64_t>(b) * s_out;
+      float* dst = gsub.data() + static_cast<std::int64_t>(r) * s_out;
+      for (std::int64_t i = 0; i < s_out; ++i) dst[i] = w * gy[i];
+    }
+    Tensor dsub = modules_[m]->backward(gsub);
+    NEBULA_CHECK(dsub.numel() ==
+                 static_cast<std::int64_t>(samples.size()) * s_in);
+    // Scatter-add input gradients.
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+      const float* src = dsub.data() + static_cast<std::int64_t>(r) * s_in;
+      float* dst = dx.data() + static_cast<std::int64_t>(samples[r]) * s_in;
+      for (std::int64_t i = 0; i < s_in; ++i) dst[i] += src[i];
+    }
+    // Gate gradient: dL/dg_j = <dy_b, f_j(x_b) − y_b> / mass_b.
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+      const std::size_t b = samples[r];
+      const SampleRoute& route = routes_[b];
+      const float* gy = grad_out.data() + static_cast<std::int64_t>(b) * s_out;
+      const float* fj = mout.data() + static_cast<std::int64_t>(r) * s_out;
+      const float* yb =
+          combined_output_.data() + static_cast<std::int64_t>(b) * s_out;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < s_out; ++i) {
+        acc += static_cast<double>(gy[i]) * (fj[i] - yb[i]);
+      }
+      gate_grad_.data()[static_cast<std::int64_t>(b) * full_width_ +
+                        global_ids_[m]] =
+          static_cast<float>(acc / route.gate_mass);
+    }
+  }
+
+  routes_.clear();
+  assigned_.clear();
+  module_outputs_.clear();
+  combined_output_ = Tensor{};
+  return dx;
+}
+
+std::vector<Param*> ModuleLayer::params() {
+  std::vector<Param*> all;
+  for (auto& m : modules_) {
+    for (Param* p : m->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<Tensor*> ModuleLayer::buffers() {
+  std::vector<Tensor*> all;
+  for (auto& m : modules_) {
+    for (Tensor* b : m->buffers()) all.push_back(b);
+  }
+  return all;
+}
+
+}  // namespace nebula

@@ -1,0 +1,197 @@
+#include "core/nebula.h"
+
+#include <algorithm>
+
+#include "nn/serialize.h"
+
+namespace nebula {
+
+NebulaSystem::NebulaSystem(ZooModel cloud, EdgePopulation& pop,
+                           std::vector<DeviceProfile> profiles,
+                           NebulaConfig cfg)
+    : cloud_(std::move(cloud.model)),
+      selector_(std::move(cloud.selector)),
+      pop_(pop),
+      profiles_(std::move(profiles)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  NEBULA_CHECK(cloud_ != nullptr && selector_ != nullptr);
+  NEBULA_CHECK_MSG(static_cast<std::int64_t>(profiles_.size()) ==
+                       pop_.num_devices(),
+                   "need one device profile per population device");
+  derivation_ = std::make_unique<SubmodelDerivation>(cloud_->module_costs(),
+                                                     cloud_->shared_cost());
+  edge_states_.resize(profiles_.size());
+  selector_cached_.assign(profiles_.size(), false);
+  for (const auto& p : profiles_) {
+    cap_max_ = std::max(cap_max_, p.mem_capacity_mb);
+  }
+  cfg_.pretrain.top_k = cfg_.top_k;
+  cfg_.ability.finetune.top_k = cfg_.top_k;
+  cfg_.edge.top_k = cfg_.top_k;
+}
+
+std::vector<std::int64_t> NebulaSystem::proxy_subtasks(
+    const SyntheticData& proxy) const {
+  std::vector<std::int64_t> sub(proxy.data.labels.size());
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    sub[i] = pop_.subtask_of(proxy.data.labels[i], proxy.subjects[i]);
+  }
+  return sub;
+}
+
+std::optional<AbilityResult> NebulaSystem::offline(const SyntheticData& proxy) {
+  train_modular(*cloud_, *selector_, proxy.data, cfg_.pretrain);
+  if (!cfg_.enable_ability) return std::nullopt;
+  const auto subtasks = proxy_subtasks(proxy);
+  return enhance_ability(*cloud_, *selector_, proxy.data, subtasks,
+                         pop_.num_contexts(), cfg_.ability);
+}
+
+std::vector<std::vector<double>> NebulaSystem::device_importance(
+    std::int64_t k) {
+  const Dataset& local = pop_.local_data(k);
+  Tensor x({local.size(), local.feature_dim()},
+           local.features.storage());
+  return selector_->importance(x);
+}
+
+double NebulaSystem::budget_fraction_for(std::int64_t k) const {
+  const auto& p = profiles_.at(static_cast<std::size_t>(k));
+  const double rel = p.mem_capacity_mb / cap_max_;
+  return cfg_.budget_lo + (cfg_.budget_hi - cfg_.budget_lo) * rel;
+}
+
+DerivationResult NebulaSystem::derive(std::int64_t k) {
+  DerivationRequest req;
+  req.importance = device_importance(k);
+  req.budgets = derivation_->budget_fraction(budget_fraction_for(k));
+  return derivation_->derive(req);
+}
+
+std::int64_t NebulaSystem::download_bytes(const SubmodelSpec& spec,
+                                          std::int64_t device) {
+  std::int64_t floats = 0;
+  for (std::size_t l = 0; l < spec.modules.size(); ++l) {
+    for (std::int64_t gid : spec.modules[l]) {
+      floats += static_cast<std::int64_t>(
+          cloud_->module_state(l, gid).size());
+    }
+  }
+  floats += static_cast<std::int64_t>(cloud_->shared_state().size());
+  if (!selector_cached_.at(static_cast<std::size_t>(device))) {
+    floats += selector_->state_size();
+    selector_cached_[static_cast<std::size_t>(device)] = true;
+  }
+  return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+EdgeUpdate NebulaSystem::train_and_pack(std::int64_t k,
+                                        ModularModel& submodel) {
+  TrainConfig edge_cfg = cfg_.edge;
+  edge_cfg.seed = rng_.next_u64();
+  train_modular(submodel, *selector_, pop_.local_data(k), edge_cfg);
+  EdgeUpdate up = make_edge_update(submodel, device_importance(k),
+                                   pop_.local_data(k).size());
+  ledger_.record_upload(up.payload_bytes());
+  return up;
+}
+
+std::vector<std::int64_t> NebulaSystem::round() {
+  const std::int64_t n = pop_.num_devices();
+  const std::int64_t m = std::min(cfg_.devices_per_round, n);
+  auto pick = rng_.choose(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(m));
+  std::vector<EdgeUpdate> updates;
+  std::vector<std::int64_t> participants;
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+    participants.push_back(k);
+    DerivationResult der = derive(k);
+    ledger_.record_download(download_bytes(der.spec, k));
+    auto submodel = cloud_->derive_submodel(der.spec);
+    updates.push_back(train_and_pack(k, *submodel));
+    auto& state = edge_states_[static_cast<std::size_t>(k)];
+    state.spec = der.spec;
+    state.model = std::move(submodel);
+  }
+  aggregate_module_wise(*cloud_, updates, cfg_.weighting);
+  return participants;
+}
+
+void NebulaSystem::adapt_device(std::int64_t k, bool query_cloud,
+                                bool local_train, bool upload) {
+  auto& state = edge_states_.at(static_cast<std::size_t>(k));
+  if (query_cloud || !state.model) {
+    DerivationResult der = derive(k);
+    ledger_.record_download(download_bytes(der.spec, k));
+    state.spec = der.spec;
+    state.model = cloud_->derive_submodel(der.spec);
+  }
+  if (!local_train) return;
+  if (!upload) {
+    TrainConfig edge_cfg = cfg_.edge;
+    edge_cfg.seed = rng_.next_u64();
+    train_modular(*state.model, *selector_, pop_.local_data(k), edge_cfg);
+    return;
+  }
+  EdgeUpdate up = train_and_pack(k, *state.model);
+  aggregate_module_wise(*cloud_, {up}, cfg_.weighting, cfg_.online_mix);
+}
+
+float NebulaSystem::eval_device(std::int64_t k, std::int64_t test_n) {
+  auto& state = edge_states_.at(static_cast<std::size_t>(k));
+  if (!state.model) adapt_device(k, /*query_cloud=*/true, false, false);
+  Dataset test = pop_.device_test(k, test_n);
+  return evaluate_modular(*state.model, *selector_, test, cfg_.top_k);
+}
+
+float NebulaSystem::eval_derived(std::int64_t k, std::int64_t test_n) {
+  DerivationResult der = derive(k);
+  auto submodel = cloud_->derive_submodel(der.spec);
+  Dataset test = pop_.device_test(k, test_n);
+  return evaluate_modular(*submodel, *selector_, test, cfg_.top_k);
+}
+
+void NebulaSystem::save_cloud(const std::string& path) {
+  // Layout: shared state | per-layer per-global-id module states | selector.
+  std::vector<float> blob = cloud_->shared_state();
+  for (std::size_t l = 0; l < cloud_->num_module_layers(); ++l) {
+    for (std::int64_t gid = 0; gid < cloud_->full_widths()[l]; ++gid) {
+      auto s = cloud_->module_state(l, gid);
+      blob.insert(blob.end(), s.begin(), s.end());
+    }
+  }
+  auto sel = selector_->state();
+  blob.insert(blob.end(), sel.begin(), sel.end());
+  save_state_file(path, blob);
+}
+
+void NebulaSystem::load_cloud(const std::string& path) {
+  const std::vector<float> blob = load_state_file(path);
+  std::size_t off = 0;
+  auto take = [&](std::size_t n) {
+    NEBULA_CHECK_MSG(off + n <= blob.size(), "checkpoint too small");
+    std::vector<float> part(blob.begin() + static_cast<std::ptrdiff_t>(off),
+                            blob.begin() +
+                                static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    return part;
+  };
+  cloud_->set_shared_state(take(cloud_->shared_state().size()));
+  for (std::size_t l = 0; l < cloud_->num_module_layers(); ++l) {
+    for (std::int64_t gid = 0; gid < cloud_->full_widths()[l]; ++gid) {
+      const std::size_t n = cloud_->module_state(l, gid).size();
+      cloud_->set_module_state(l, gid, take(n));
+    }
+  }
+  selector_->set_state(take(static_cast<std::size_t>(selector_->state_size())));
+  NEBULA_CHECK_MSG(off == blob.size(), "checkpoint has trailing data");
+}
+
+const SubmodelSpec* NebulaSystem::resident_spec(std::int64_t k) const {
+  const auto& state = edge_states_.at(static_cast<std::size_t>(k));
+  return state.model ? &state.spec : nullptr;
+}
+
+}  // namespace nebula

@@ -1,0 +1,158 @@
+// Nebula: the end-to-end edge-cloud collaborative learning framework
+// (paper §3). Ties together the offline stage (end-to-end cloud training +
+// module ability-enhancing training) and the online stage (personalized
+// sub-model derivation, on-device updates, module-wise aggregation).
+//
+// Quickstart:
+//
+//   SyntheticGenerator gen(cifar10_like_spec(), seed);
+//   EdgePopulation pop(gen, partition_cfg);
+//   auto zoo = make_modular_resnet18({3, 8, 8}, 10);
+//   NebulaSystem nebula(std::move(zoo), pop, profiles, cfg);
+//   nebula.offline(pop.proxy_data_ex(3000));     // on-cloud prototyping
+//   for (int r = 0; r < rounds; ++r) nebula.round();  // collaborative adapt
+//   float acc = nebula.eval_device(k);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ability.h"
+#include "core/aggregation.h"
+#include "core/derivation.h"
+#include "core/model_zoo.h"
+#include "core/train.h"
+#include "data/partition.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+
+namespace nebula {
+
+struct NebulaConfig {
+  TrainConfig pretrain;              // offline end-to-end training
+  AbilityConfig ability;             // §4.3 enhancement (fine-tune inside)
+  TrainConfig edge;                  // on-device sub-model updates
+  bool enable_ability = true;        // ablation switch
+  std::int64_t devices_per_round = 10;
+  std::int64_t top_k = 2;
+  AggregationWeighting weighting = AggregationWeighting::kImportance;
+  /// Server mixing rate for single-device continuous updates (adapt_device
+  /// with upload): blend the device's update into the cloud instead of
+  /// replacing module state outright. Full rounds always use 1.0.
+  float online_mix = 0.25f;
+  /// Device budget as a fraction of the *original* model cost (the paper's
+  /// sub-model size ratio), interpolated over the fleet's memory capacities:
+  /// fraction = lo + (hi-lo) * cap/capmax.
+  double budget_lo = 0.35;
+  double budget_hi = 0.8;
+  std::uint64_t seed = 7;
+
+  NebulaConfig() {
+    pretrain.epochs = 8;
+    pretrain.lr = 0.05f;
+    ability.finetune.epochs = 3;
+    edge.epochs = 3;
+    edge.lr = 0.02f;
+    edge.train_selector = false;  // selector is frozen on devices
+    edge.noise_std = 0.0f;
+  }
+};
+
+class NebulaSystem {
+ public:
+  NebulaSystem(ZooModel cloud, EdgePopulation& pop,
+               std::vector<DeviceProfile> profiles, NebulaConfig cfg);
+
+  // ---- Offline stage (§4) ----------------------------------------------------
+
+  /// End-to-end trains the modularized cloud model on proxy data, then (if
+  /// enabled) runs module ability-enhancing training. Returns the ability
+  /// result when it ran.
+  std::optional<AbilityResult> offline(const SyntheticData& proxy);
+
+  // ---- Online stage (§5) -----------------------------------------------------
+
+  /// Device k's module importance scores from the (locally held) selector.
+  std::vector<std::vector<double>> device_importance(std::int64_t k);
+
+  /// Derives a personalized sub-model spec for device k under its budget.
+  DerivationResult derive(std::int64_t k);
+
+  /// One collaborative adaptation round: sample devices, derive + download
+  /// sub-models, local training, upload, module-wise aggregation.
+  /// Returns the ids of the participating devices.
+  std::vector<std::int64_t> round();
+
+  /// Fine-grained step for continuous-adaptation experiments: refresh device
+  /// k's resident sub-model. `query_cloud` re-derives from the cloud
+  /// (counted in the ledger); `local_train` updates it on local data;
+  /// `upload` sends the update back and aggregates immediately.
+  void adapt_device(std::int64_t k, bool query_cloud, bool local_train,
+                    bool upload);
+
+  /// Accuracy of device k's resident sub-model on a fresh sample of its
+  /// current local task (derives one first if the device holds none).
+  float eval_device(std::int64_t k, std::int64_t test_n = 256);
+
+  /// Accuracy of a sub-model freshly derived from the current cloud model.
+  float eval_derived(std::int64_t k, std::int64_t test_n = 256);
+
+  // ---- Introspection ----------------------------------------------------------
+
+  ModularModel& cloud() { return *cloud_; }
+  /// On-device training hyper-parameters (mutable: experiments vary local
+  /// epochs between the round-based and continuous protocols).
+  TrainConfig& edge_config() { return cfg_.edge; }
+  ModuleSelector& selector() { return *selector_; }
+  const SubmodelDerivation& derivation() const { return *derivation_; }
+  CommLedger& ledger() { return ledger_; }
+  EdgePopulation& population() { return pop_; }
+  const DeviceProfile& profile(std::int64_t k) const {
+    return profiles_.at(static_cast<std::size_t>(k));
+  }
+  double budget_fraction_for(std::int64_t k) const;
+  const SubmodelSpec* resident_spec(std::int64_t k) const;
+
+  /// Bytes to download a sub-model for device k: modules + shared state,
+  /// plus the (immutable) unified selector the first time this device
+  /// fetches anything — devices cache the selector, it never changes during
+  /// the online stage.
+  std::int64_t download_bytes(const SubmodelSpec& spec, std::int64_t device);
+
+  /// Builds an executable sub-model from the current cloud model.
+  std::unique_ptr<ModularModel> build_submodel(const SubmodelSpec& spec) {
+    return cloud_->derive_submodel(spec);
+  }
+
+  /// Checkpoints the cloud model + selector to one state file, so a trained
+  /// system survives process restarts (load into a system built from the
+  /// same factory/config).
+  void save_cloud(const std::string& path);
+  void load_cloud(const std::string& path);
+
+ private:
+  struct EdgeState {
+    std::unique_ptr<ModularModel> model;
+    SubmodelSpec spec;
+  };
+
+  std::vector<std::int64_t> proxy_subtasks(const SyntheticData& proxy) const;
+  EdgeUpdate train_and_pack(std::int64_t k, ModularModel& submodel);
+
+  std::unique_ptr<ModularModel> cloud_;
+  std::unique_ptr<ModuleSelector> selector_;
+  EdgePopulation& pop_;
+  std::vector<DeviceProfile> profiles_;
+  NebulaConfig cfg_;
+  std::unique_ptr<SubmodelDerivation> derivation_;
+  std::vector<EdgeState> edge_states_;
+  std::vector<bool> selector_cached_;
+  CommLedger ledger_;
+  Rng rng_;
+  double cap_max_ = 1.0;
+};
+
+}  // namespace nebula

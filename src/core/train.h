@@ -1,0 +1,70 @@
+// Training loops.
+//
+// `train_modular` is the single engine behind the paper's three training
+// contexts: offline end-to-end cloud training (§4.3, with load-balance loss
+// and noisy top-k), ability-enhancing fine-tuning (§4.3, adds the KL gate
+// guidance term), and on-device sub-model updates (§5.1, selector frozen,
+// deterministic routing). Plain-model loops serve the baselines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/gating.h"
+#include "core/modular_model.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace nebula {
+
+struct TrainConfig {
+  std::int64_t epochs = 1;
+  std::int64_t batch_size = 16;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  float grad_clip = 5.0f;
+  // Modular-model specifics.
+  std::int64_t top_k = 2;
+  float noise_std = 0.3f;        // noisy top-k exploration (training only)
+  float lambda_balance = 0.02f;  // load-balance loss weight
+  bool train_selector = true;    // false on edge devices (selector frozen)
+  std::uint64_t seed = 42;
+};
+
+/// Per-layer gate guidance for ability-enhancing fine-tuning: a KL term
+/// pulling the selector toward target distributions defined per sub-task.
+struct GateGuidance {
+  /// Sub-task id of each dataset sample (size = dataset.size()).
+  const std::vector<std::int64_t>* sample_subtasks = nullptr;
+  /// Per layer: row-major (T x N_l) target distribution P (rows normalised).
+  const std::vector<std::vector<float>>* targets = nullptr;
+  float weight = 0.5f;
+};
+
+struct TrainStats {
+  float final_loss = 0.0f;
+  float final_balance_loss = 0.0f;
+  std::int64_t batches = 0;
+};
+
+/// Trains model (+ selector) on `data` for cfg.epochs. If `guidance` is
+/// provided, adds the KL(g_label ‖ selector) term of §4.3 step 3.
+TrainStats train_modular(ModularModel& model, ModuleSelector& selector,
+                         const Dataset& data, const TrainConfig& cfg,
+                         const GateGuidance* guidance = nullptr);
+
+/// Accuracy of the modular model on `data` (deterministic top-k routing).
+float evaluate_modular(ModularModel& model, ModuleSelector& selector,
+                       const Dataset& data, std::int64_t top_k = 2);
+
+/// Trains a plain model on `data` (baselines).
+TrainStats train_plain(Layer& model, const Dataset& data,
+                       const TrainConfig& cfg);
+
+/// Accuracy of a plain model on `data`.
+float evaluate_plain(Layer& model, const Dataset& data);
+
+}  // namespace nebula

@@ -1,0 +1,112 @@
+// In-memory labelled dataset plus batching/slicing helpers.
+//
+// Samples are stored flattened row-major; `sample_shape` records the logical
+// per-sample shape (e.g. {3, 8, 8} for image-shaped tasks), and `batch_view`
+// materialises a batch tensor of shape {B, sample_shape...}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace nebula {
+
+struct Dataset {
+  Tensor features;                        // (N, D) with D = prod(sample_shape)
+  std::vector<std::int64_t> labels;       // size N
+  std::int64_t num_classes = 0;
+  std::vector<std::int64_t> sample_shape; // logical per-sample shape
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+  std::int64_t feature_dim() const {
+    return features.numel() == 0 ? 0 : features.dim(1);
+  }
+
+  /// Materialises samples `idx` as a batch tensor {B, sample_shape...}.
+  Tensor batch_view(const std::vector<std::size_t>& idx) const {
+    const std::int64_t d = feature_dim();
+    std::vector<std::int64_t> shape{static_cast<std::int64_t>(idx.size())};
+    shape.insert(shape.end(), sample_shape.begin(), sample_shape.end());
+    Tensor out(shape);
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      NEBULA_CHECK(idx[b] < static_cast<std::size_t>(size()));
+      const float* src = features.data() + static_cast<std::int64_t>(idx[b]) * d;
+      std::copy(src, src + d, out.data() + static_cast<std::int64_t>(b) * d);
+    }
+    return out;
+  }
+
+  std::vector<std::int64_t> batch_labels(
+      const std::vector<std::size_t>& idx) const {
+    std::vector<std::int64_t> out(idx.size());
+    for (std::size_t b = 0; b < idx.size(); ++b) out[b] = labels[idx[b]];
+    return out;
+  }
+
+  /// Copies the selected samples into a new dataset.
+  Dataset subset(const std::vector<std::size_t>& idx) const {
+    Dataset out;
+    out.num_classes = num_classes;
+    out.sample_shape = sample_shape;
+    const std::int64_t d = feature_dim();
+    out.features = Tensor({static_cast<std::int64_t>(idx.size()), d});
+    out.labels.resize(idx.size());
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      NEBULA_CHECK(idx[b] < static_cast<std::size_t>(size()));
+      const float* src = features.data() + static_cast<std::int64_t>(idx[b]) * d;
+      std::copy(src, src + d,
+                out.features.data() + static_cast<std::int64_t>(b) * d);
+      out.labels[b] = labels[idx[b]];
+    }
+    return out;
+  }
+
+  /// Appends all samples of `other` (shapes must match).
+  void append(const Dataset& other) {
+    NEBULA_CHECK(other.num_classes == num_classes || size() == 0);
+    if (size() == 0) {
+      *this = other;
+      return;
+    }
+    NEBULA_CHECK(other.feature_dim() == feature_dim());
+    const std::int64_t d = feature_dim();
+    std::vector<float> merged = features.storage();
+    merged.insert(merged.end(), other.features.storage().begin(),
+                  other.features.storage().end());
+    features = Tensor({size() + other.size(), d}, std::move(merged));
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  }
+};
+
+/// Yields shuffled minibatch index lists covering [0, n).
+class BatchSampler {
+ public:
+  BatchSampler(std::int64_t n, std::int64_t batch_size, Rng& rng)
+      : batch_size_(batch_size) {
+    NEBULA_CHECK(batch_size > 0);
+    order_.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    rng.shuffle(order_);
+  }
+
+  /// Returns the next batch, or an empty vector when the epoch is done.
+  std::vector<std::size_t> next() {
+    if (cursor_ >= order_.size()) return {};
+    const std::size_t hi =
+        std::min(order_.size(), cursor_ + static_cast<std::size_t>(batch_size_));
+    std::vector<std::size_t> batch(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                   order_.begin() + static_cast<std::ptrdiff_t>(hi));
+    cursor_ = hi;
+    return batch;
+  }
+
+ private:
+  std::int64_t batch_size_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace nebula

@@ -1,0 +1,293 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace nebula {
+
+namespace {
+
+/// Fills `out` (length d) with a random field. For image-shaped samples
+/// ({C, H, W}) the field is spatially smooth — drawn on a half-resolution
+/// grid and bilinearly upsampled — then rescaled so its per-coordinate RMS
+/// equals `scale`. Natural images are spatially correlated; without this,
+/// pooling layers in conv models would average away the class signal and
+/// the synthetic tasks would only be learnable by dense models.
+void random_field(const std::vector<std::int64_t>& shape, float scale,
+                  Rng& rng, float* out) {
+  const std::int64_t d = Tensor::numel_from(shape);
+  if (shape.size() != 3 || shape[1] < 2 || shape[2] < 2) {
+    for (std::int64_t i = 0; i < d; ++i) out[i] = rng.normal() * scale;
+    return;
+  }
+  const std::int64_t c = shape[0], h = shape[1], w = shape[2];
+  const std::int64_t ch = (h + 1) / 2, cw = (w + 1) / 2;
+  std::vector<float> coarse(static_cast<std::size_t>(c * ch * cw));
+  for (auto& v : coarse) v = rng.normal();
+  double sq = 0.0;
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    const float* plane = coarse.data() + ci * ch * cw;
+    float* op = out + ci * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      // Map to coarse coordinates (bilinear).
+      const float fy = ch > 1
+                           ? static_cast<float>(y) * (ch - 1) / (h - 1)
+                           : 0.0f;
+      const std::int64_t y0 = static_cast<std::int64_t>(fy);
+      const std::int64_t y1 = std::min(ch - 1, y0 + 1);
+      const float ty = fy - static_cast<float>(y0);
+      for (std::int64_t x = 0; x < w; ++x) {
+        const float fx = cw > 1
+                             ? static_cast<float>(x) * (cw - 1) / (w - 1)
+                             : 0.0f;
+        const std::int64_t x0 = static_cast<std::int64_t>(fx);
+        const std::int64_t x1 = std::min(cw - 1, x0 + 1);
+        const float tx = fx - static_cast<float>(x0);
+        const float v =
+            (1 - ty) * ((1 - tx) * plane[y0 * cw + x0] +
+                        tx * plane[y0 * cw + x1]) +
+            ty * ((1 - tx) * plane[y1 * cw + x0] + tx * plane[y1 * cw + x1]);
+        op[y * w + x] = v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+  }
+  const float rms = static_cast<float>(std::sqrt(sq / d)) + 1e-12f;
+  const float gain = scale / rms;
+  for (std::int64_t i = 0; i < d; ++i) out[i] *= gain;
+}
+
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(SyntheticSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)) {
+  NEBULA_CHECK(spec_.num_classes > 0 && spec_.clusters_per_class > 0 &&
+               spec_.num_subjects > 0);
+  const std::int64_t d = spec_.feature_dim();
+  NEBULA_CHECK_MSG(d > 0, "synthetic spec needs a sample shape");
+  Rng rng(seed);
+
+  // Cluster centres: class prototype + *shared* appearance-context offset +
+  // a small per-(class, context) jitter. `class_separation` and
+  // `cluster_spread` are expressed in noise-normalised distance units: the
+  // expected Euclidean distance between two prototypes is
+  // class_separation · noise, so the two-class Bayes error within one
+  // context is ~Φ(−class_separation/2) independent of the feature dimension.
+  //
+  // The context offsets are shared across classes: cluster k of every class
+  // is shifted by the same large vector, modelling a scene/lighting/angle
+  // change that moves the whole data distribution. A model that has only
+  // seen contexts {0, 1} faces an unknown translation on context 2 — this is
+  // what makes historical (proxy-trained) models stale and fresh edge data
+  // valuable, reproducing the paper's outer-environment dynamic.
+  const float proto_scale = spec_.class_separation * spec_.noise /
+                            std::sqrt(2.0f * static_cast<float>(d));
+  const float context_scale = spec_.cluster_spread * spec_.noise /
+                              std::sqrt(2.0f * static_cast<float>(d));
+  const float jitter_scale =
+      0.6f * spec_.noise / std::sqrt(2.0f * static_cast<float>(d));
+  std::vector<float> contexts(
+      static_cast<std::size_t>(spec_.clusters_per_class * d));
+  context_gain_.assign(static_cast<std::size_t>(spec_.clusters_per_class * d),
+                       1.0f);
+  for (std::int64_t k = 0; k < spec_.clusters_per_class; ++k) {
+    random_field(spec_.sample_shape, context_scale, rng,
+                 contexts.data() + k * d);
+    // Multiplicative appearance change per context (lighting / sensor gain).
+    std::vector<float> gain_field(static_cast<std::size_t>(d));
+    random_field(spec_.sample_shape, spec_.context_gain_spread, rng,
+                 gain_field.data());
+    for (std::int64_t i = 0; i < d; ++i) {
+      context_gain_[static_cast<std::size_t>(k * d + i)] =
+          1.0f + gain_field[static_cast<std::size_t>(i)];
+    }
+  }
+  const std::int64_t n_centres = spec_.num_classes * spec_.clusters_per_class;
+  centres_.resize(static_cast<std::size_t>(n_centres * d));
+  std::vector<float> proto(static_cast<std::size_t>(d));
+  std::vector<float> jitter(static_cast<std::size_t>(d));
+  for (std::int64_t c = 0; c < spec_.num_classes; ++c) {
+    random_field(spec_.sample_shape, proto_scale, rng, proto.data());
+    for (std::int64_t k = 0; k < spec_.clusters_per_class; ++k) {
+      float* centre =
+          centres_.data() + (c * spec_.clusters_per_class + k) * d;
+      const float* ctx = contexts.data() + k * d;
+      random_field(spec_.sample_shape, jitter_scale, rng, jitter.data());
+      for (std::int64_t i = 0; i < d; ++i) {
+        centre[i] = proto[static_cast<std::size_t>(i)] + ctx[i] +
+                    jitter[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  subject_gain_.resize(static_cast<std::size_t>(spec_.num_subjects * d));
+  subject_offset_.resize(static_cast<std::size_t>(spec_.num_subjects * d));
+  for (std::int64_t s = 0; s < spec_.num_subjects; ++s) {
+    for (std::int64_t i = 0; i < d; ++i) {
+      subject_gain_[static_cast<std::size_t>(s * d + i)] =
+          1.0f + rng.normal() * spec_.subject_gain_spread;
+      subject_offset_[static_cast<std::size_t>(s * d + i)] =
+          rng.normal() * spec_.subject_offset_spread;
+    }
+  }
+}
+
+void SyntheticGenerator::emit_sample(std::int64_t cls, std::int64_t subject,
+                                     const std::vector<std::int64_t>& clusters,
+                                     Rng& rng, float* out) const {
+  const std::int64_t d = spec_.feature_dim();
+  std::int64_t k;
+  if (clusters.empty()) {
+    k = static_cast<std::int64_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(spec_.clusters_per_class)));
+  } else {
+    k = clusters[rng.uniform_int(clusters.size())];
+    NEBULA_CHECK(k >= 0 && k < spec_.clusters_per_class);
+  }
+  const float* centre =
+      centres_.data() + (cls * spec_.clusters_per_class + k) * d;
+  const float* ctx_gain = context_gain_.data() + k * d;
+  const float* gain = subject_gain_.data() + subject * d;
+  const float* offset = subject_offset_.data() + subject * d;
+  for (std::int64_t i = 0; i < d; ++i) {
+    const float x = ctx_gain[i] * (centre[i] + rng.normal() * spec_.noise);
+    out[i] = gain[i] * x + offset[i];
+  }
+}
+
+namespace {
+
+std::vector<std::int64_t> all_classes(std::int64_t n) {
+  std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+  for (std::int64_t c = 0; c < n; ++c) all[static_cast<std::size_t>(c)] = c;
+  return all;
+}
+
+std::vector<std::int64_t> cluster_prefix(std::int64_t count) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t k = 0; k < count; ++k) out.push_back(k);
+  return out;
+}
+
+}  // namespace
+
+SyntheticData SyntheticGenerator::sample(std::int64_t n, Rng& rng) const {
+  return sample_impl(n, all_classes(spec_.num_classes), -1, {}, rng);
+}
+
+SyntheticData SyntheticGenerator::sample_proxy(std::int64_t n,
+                                               Rng& rng) const {
+  const auto clusters = spec_.proxy_clusters > 0
+                            ? cluster_prefix(std::min(
+                                  spec_.proxy_clusters,
+                                  spec_.clusters_per_class))
+                            : std::vector<std::int64_t>{};
+  return sample_impl(n, all_classes(spec_.num_classes), -1, clusters, rng);
+}
+
+SyntheticData SyntheticGenerator::sample_classes(
+    std::int64_t n, const std::vector<std::int64_t>& classes, Rng& rng) const {
+  return sample_impl(n, classes, -1, {}, rng);
+}
+
+SyntheticData SyntheticGenerator::sample_classes_view(
+    std::int64_t n, const std::vector<std::int64_t>& classes,
+    const std::vector<std::int64_t>& clusters, Rng& rng) const {
+  return sample_impl(n, classes, -1, clusters, rng);
+}
+
+SyntheticData SyntheticGenerator::sample_subject(std::int64_t n,
+                                                 std::int64_t subject,
+                                                 Rng& rng) const {
+  return sample_impl(n, all_classes(spec_.num_classes), subject, {}, rng);
+}
+
+SyntheticData SyntheticGenerator::sample_subject_view(
+    std::int64_t n, std::int64_t subject,
+    const std::vector<std::int64_t>& clusters, Rng& rng) const {
+  return sample_impl(n, all_classes(spec_.num_classes), subject, clusters,
+                     rng);
+}
+
+SyntheticData SyntheticGenerator::sample_impl(
+    std::int64_t n, const std::vector<std::int64_t>& classes,
+    std::int64_t fixed_subject, const std::vector<std::int64_t>& clusters,
+    Rng& rng) const {
+  NEBULA_CHECK_MSG(!classes.empty(), "sampling needs >= 1 class");
+  for (auto c : classes) NEBULA_CHECK(c >= 0 && c < spec_.num_classes);
+  NEBULA_CHECK(fixed_subject < spec_.num_subjects);
+  const std::int64_t d = spec_.feature_dim();
+  SyntheticData out;
+  out.data.num_classes = spec_.num_classes;
+  out.data.sample_shape = spec_.sample_shape;
+  out.data.features = Tensor({n, d});
+  out.data.labels.resize(static_cast<std::size_t>(n));
+  out.subjects.resize(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t cls = classes[rng.uniform_int(classes.size())];
+    const std::int64_t subject =
+        fixed_subject >= 0
+            ? fixed_subject
+            : static_cast<std::int64_t>(rng.uniform_int(
+                  static_cast<std::uint64_t>(spec_.num_subjects)));
+    emit_sample(cls, subject, clusters, rng,
+                out.data.features.data() + r * d);
+    out.data.labels[static_cast<std::size_t>(r)] = cls;
+    out.subjects[static_cast<std::size_t>(r)] = subject;
+  }
+  return out;
+}
+
+SyntheticSpec har_like_spec() {
+  SyntheticSpec s;
+  s.name = "har";
+  s.num_classes = 6;
+  s.sample_shape = {32};
+  s.clusters_per_class = 3;
+  s.proxy_clusters = 2;
+  s.class_separation = 6.0f;
+  s.cluster_spread = 2.5f;
+  s.noise = 1.0f;
+  s.num_subjects = 30;
+  return s;
+}
+
+SyntheticSpec cifar10_like_spec() {
+  SyntheticSpec s;
+  s.name = "cifar10";
+  s.num_classes = 10;
+  s.sample_shape = {3, 8, 8};
+  s.clusters_per_class = 4;
+  s.proxy_clusters = 2;
+  s.class_separation = 5.2f;
+  s.cluster_spread = 2.5f;
+  s.noise = 1.0f;
+  return s;
+}
+
+SyntheticSpec cifar100_like_spec() {
+  SyntheticSpec s;
+  s.name = "cifar100";
+  s.num_classes = 100;
+  s.sample_shape = {3, 8, 8};
+  s.clusters_per_class = 3;
+  s.proxy_clusters = 2;
+  s.class_separation = 6.3f;
+  s.cluster_spread = 2.5f;
+  s.noise = 1.0f;
+  return s;
+}
+
+SyntheticSpec speech_like_spec() {
+  SyntheticSpec s;
+  s.name = "speech";
+  s.num_classes = 35;
+  s.sample_shape = {1, 16, 8};
+  s.clusters_per_class = 3;
+  s.proxy_clusters = 2;
+  s.class_separation = 5.4f;
+  s.cluster_spread = 2.5f;
+  s.noise = 1.0f;
+  return s;
+}
+
+}  // namespace nebula

@@ -1,0 +1,124 @@
+// Synthetic dataset generators standing in for HAR, CIFAR-10/100 and Google
+// Speech Commands (which are unavailable offline — see DESIGN.md §2).
+//
+// Each task is a Gaussian mixture with `clusters_per_class` sub-clusters per
+// class, pushed through a fixed random rotation so classes are not axis-
+// aligned. Feature skew (HAR's per-subject variation) is modelled by a
+// subject-specific affine transform. The class count, sample shape and
+// non-IID structure of each paper task are preserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace nebula {
+
+struct SyntheticSpec {
+  std::string name;
+  std::int64_t num_classes = 10;
+  std::vector<std::int64_t> sample_shape;  // e.g. {3, 8, 8} or {D}
+  std::int64_t clusters_per_class = 2;
+  /// Clusters visible to the cloud's historical proxy data. Edge devices see
+  /// all clusters, so clusters in [proxy_clusters, clusters_per_class) model
+  /// the *new appearances* that only fresh edge data contains (the paper's
+  /// outer environment dynamic). 0 means no restriction.
+  std::int64_t proxy_clusters = 0;
+  float class_separation = 2.4f;  // distance scale between class prototypes
+  float cluster_spread = 0.9f;    // distance of sub-clusters from prototype
+  /// Per-context multiplicative feature variation (lighting/sensor gain):
+  /// every appearance context scales features by 1 + N(0, spread) fields.
+  /// This is what makes *unseen* contexts genuinely hard — additive offsets
+  /// alone are easy to become invariant to.
+  float context_gain_spread = 0.35f;
+  float noise = 0.7f;             // within-cluster standard deviation
+  std::int64_t num_subjects = 1;  // >1 enables feature skew
+  float subject_gain_spread = 0.25f;   // per-subject multiplicative variation
+  float subject_offset_spread = 0.4f;  // per-subject additive variation
+
+  std::int64_t feature_dim() const {
+    return Tensor::numel_from(sample_shape);
+  }
+};
+
+/// Generates `n` samples. When the spec has subjects, each sample carries a
+/// subject id in `subjects` (parallel to the dataset rows).
+struct SyntheticData {
+  Dataset data;
+  std::vector<std::int64_t> subjects;
+};
+
+class SyntheticGenerator {
+ public:
+  SyntheticGenerator(SyntheticSpec spec, std::uint64_t seed);
+
+  /// Draws `n` i.i.d. samples over all classes/subjects.
+  SyntheticData sample(std::int64_t n, Rng& rng) const;
+
+  /// Draws `n` samples restricted to the given classes (label-skew worlds).
+  SyntheticData sample_classes(std::int64_t n,
+                               const std::vector<std::int64_t>& classes,
+                               Rng& rng) const;
+
+  /// Draws `n` i.i.d. samples restricted to the cloud-visible clusters
+  /// (spec.proxy_clusters) — the historical proxy dataset.
+  SyntheticData sample_proxy(std::int64_t n, Rng& rng) const;
+
+  /// Draws `n` samples of the given classes, restricted to an explicit set
+  /// of appearance clusters (a device's biased local view). An empty
+  /// `clusters` means all clusters.
+  SyntheticData sample_classes_view(std::int64_t n,
+                                    const std::vector<std::int64_t>& classes,
+                                    const std::vector<std::int64_t>& clusters,
+                                    Rng& rng) const;
+
+  /// Per-subject variant of `sample_classes_view` for feature-skew worlds.
+  SyntheticData sample_subject_view(std::int64_t n, std::int64_t subject,
+                                    const std::vector<std::int64_t>& clusters,
+                                    Rng& rng) const;
+
+  /// Draws `n` samples from one subject (feature-skew worlds).
+  SyntheticData sample_subject(std::int64_t n, std::int64_t subject,
+                               Rng& rng) const;
+
+  const SyntheticSpec& spec() const { return spec_; }
+
+ private:
+  /// `clusters`: allowed cluster indices; empty = all.
+  void emit_sample(std::int64_t cls, std::int64_t subject,
+                   const std::vector<std::int64_t>& clusters, Rng& rng,
+                   float* out) const;
+
+  SyntheticData sample_impl(std::int64_t n,
+                            const std::vector<std::int64_t>& classes,
+                            std::int64_t fixed_subject,
+                            const std::vector<std::int64_t>& clusters,
+                            Rng& rng) const;
+
+  SyntheticSpec spec_;
+  // (num_classes * clusters_per_class, D) cluster centres in rotated space.
+  std::vector<float> centres_;
+  // Per-context multiplicative gain fields (clusters_per_class, D).
+  std::vector<float> context_gain_;
+  // Per-subject affine transforms: gain (D) and offset (D) each.
+  std::vector<float> subject_gain_;
+  std::vector<float> subject_offset_;
+};
+
+// ---- Paper task presets ------------------------------------------------------
+
+/// HAR stand-in: 6 activities, 32-d feature vector, 30 subjects (feature skew).
+SyntheticSpec har_like_spec();
+
+/// CIFAR-10 stand-in: 10 classes, 3x8x8 image-shaped samples.
+SyntheticSpec cifar10_like_spec();
+
+/// CIFAR-100 stand-in: 100 classes, 3x8x8 image-shaped samples.
+SyntheticSpec cifar100_like_spec();
+
+/// Google Speech Commands stand-in: 35 classes, 1x16x8 spectrogram-shaped.
+SyntheticSpec speech_like_spec();
+
+}  // namespace nebula

@@ -1,0 +1,236 @@
+#include "eval/experiments.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "nn/init.h"
+
+namespace nebula {
+
+std::vector<TaskSpec> paper_tasks() {
+  std::vector<TaskSpec> tasks;
+  {
+    TaskSpec t;
+    t.task_name = "Sensing";
+    t.dataset_name = "HAR";
+    t.model_name = "MLP";
+    t.partition_name = "1 subject";
+    t.model = TaskModel::kMlpHar;
+    t.data = har_like_spec();
+    t.classes_per_device = 0;  // feature skew by subject
+    t.proxy_samples = 1500;
+    tasks.push_back(t);
+  }
+  for (std::int64_t m : {2, 5}) {
+    TaskSpec t;
+    t.task_name = "Image Classification";
+    t.dataset_name = "CIFAR10";
+    t.model_name = "ResNet18";
+    t.partition_name = std::to_string(m) + " classes";
+    t.model = TaskModel::kResNet18;
+    t.data = cifar10_like_spec();
+    t.classes_per_device = m;
+    t.proxy_samples = 1500;
+    tasks.push_back(t);
+  }
+  for (std::int64_t m : {10, 20}) {
+    TaskSpec t;
+    t.task_name = "Image Classification";
+    t.dataset_name = "CIFAR100";
+    t.model_name = "VGG16";
+    t.partition_name = std::to_string(m) + " classes";
+    t.model = TaskModel::kVgg16;
+    t.data = cifar100_like_spec();
+    t.classes_per_device = m;
+    t.proxy_samples = 3000;
+    t.pretrain_lr = 0.02f;
+    tasks.push_back(t);
+  }
+  for (std::int64_t m : {5, 10}) {
+    TaskSpec t;
+    t.task_name = "Speech Recognition";
+    t.dataset_name = "Speech";
+    t.model_name = "ResNet34";
+    t.partition_name = std::to_string(m) + " classes";
+    t.model = TaskModel::kResNet34;
+    t.data = speech_like_spec();
+    t.classes_per_device = m;
+    t.proxy_samples = 2000;
+    t.pretrain_lr = 0.025f;  // 0.05 intermittently diverges on this model
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TaskSpec task_by_name(const std::string& dataset,
+                      const std::string& partition) {
+  for (const auto& t : paper_tasks()) {
+    if (t.dataset_name == dataset && t.partition_name == partition) return t;
+  }
+  NEBULA_CHECK_MSG(false, "unknown task " << dataset << " / " << partition);
+  return {};
+}
+
+BenchScale BenchScale::from_env() {
+  BenchScale s;
+  double factor = 1.0;
+  if (const char* env = std::getenv("NEBULA_BENCH_SCALE")) {
+    factor = std::atof(env);
+    if (factor <= 0.0) factor = 1.0;
+  }
+  auto scaled = [factor](std::int64_t v) {
+    return std::max<std::int64_t>(2, static_cast<std::int64_t>(
+                                         std::llround(v * factor)));
+  };
+  s.devices = scaled(s.devices);
+  s.devices_per_round = scaled(s.devices_per_round);
+  s.warm_rounds = scaled(s.warm_rounds);
+  s.eval_devices = scaled(s.eval_devices);
+  return s;
+}
+
+LayerPtr TaskEnv::plain(double width) const {
+  return make_plain(spec.model, spec.data.sample_shape,
+                    spec.data.num_classes, width);
+}
+
+ZooModel TaskEnv::modular(const ZooOptions& opts) const {
+  return make_modular(spec.model, spec.data.sample_shape,
+                      spec.data.num_classes, opts);
+}
+
+TaskEnv make_task_env(const TaskSpec& spec, const BenchScale& scale,
+                      std::uint64_t seed) {
+  TaskEnv env;
+  env.spec = spec;
+  env.generator = std::make_unique<SyntheticGenerator>(spec.data, seed);
+  PartitionConfig pc;
+  pc.num_devices = scale.devices;
+  pc.classes_per_device = spec.classes_per_device;
+  pc.clusters_per_device =
+      std::max<std::int64_t>(1, spec.data.clusters_per_class / 2);
+  pc.context_switch_prob = 0.5f;
+  pc.seed = seed * 31 + 5;
+  env.population = std::make_unique<EdgePopulation>(*env.generator, pc);
+  ProfileSampler sampler(seed * 17 + 3);
+  env.profiles = sampler.sample_fleet(scale.devices);
+  env.proxy = env.population->proxy_data_ex(spec.proxy_samples);
+  return env;
+}
+
+AdaptationResult run_adaptation_comparison(TaskEnv& env,
+                                           const BenchScale& scale,
+                                           std::uint64_t seed) {
+  EdgePopulation& pop = *env.population;
+  TrainConfig pre;
+  pre.epochs = scale.pretrain_epochs;
+  pre.lr = env.spec.pretrain_lr;
+  TrainConfig local10;
+  local10.epochs = 10;
+  local10.lr = 0.02f;
+  local10.seed = seed;
+  const std::int64_t eval_n =
+      std::min<std::int64_t>(scale.eval_devices, pop.num_devices());
+  auto plain_factory = [&env](double w) { return env.plain(w); };
+
+  // ---- Setup & pre-training ---------------------------------------------------
+  init::reseed(seed + 11);
+  NoAdaptation na(env.plain(), pop);
+  na.pretrain(env.proxy.data, pre);
+  init::reseed(seed + 12);
+  LocalAdaptation la(env.plain(), pop, local10);
+  la.pretrain(env.proxy.data, pre);
+  init::reseed(seed + 13);
+  AdaptiveNetLike an(plain_factory, {0.5, 0.75, 1.0}, pop, env.profiles,
+                     local10);
+  an.pretrain(env.proxy.data, pre);
+  init::reseed(seed + 14);
+  FedAvgConfig fc;
+  fc.devices_per_round = scale.devices_per_round;
+  fc.seed = seed + 24;
+  FedAvg fa(env.plain(), pop, fc);
+  fa.pretrain(env.proxy.data, pre);
+  init::reseed(seed + 15);
+  HeteroFLConfig hc;
+  hc.devices_per_round = scale.devices_per_round;
+  hc.seed = seed + 25;
+  HeteroFL hfl(plain_factory, pop, env.profiles, hc);
+  hfl.pretrain(env.proxy.data, pre);
+
+  ZooOptions zo;
+  zo.init_seed = seed + 16;
+  auto zm = env.modular(zo);
+  NebulaConfig nc;
+  nc.devices_per_round = scale.devices_per_round;
+  nc.pretrain.epochs = scale.pretrain_epochs;
+  nc.pretrain.lr = env.spec.pretrain_lr;
+  nc.ability.finetune.lr = env.spec.pretrain_lr;
+  nc.seed = seed + 26;
+  NebulaSystem nebula(std::move(zm), pop, env.profiles, nc);
+  nebula.offline(env.proxy);
+
+  // ---- Warm-up adaptation ------------------------------------------------------
+  for (std::int64_t r = 0; r < scale.warm_rounds; ++r) {
+    fa.round();
+    hfl.round();
+    nebula.round();
+  }
+  for (std::int64_t k = 0; k < eval_n; ++k) {
+    la.adapt_device(k);
+    an.adapt_device(k);
+  }
+
+  // ---- Environment shift + one adaptation step ---------------------------------
+  pop.shift_all();
+  for (std::int64_t k = 0; k < eval_n; ++k) {
+    la.adapt_device(k);
+    an.adapt_device(k);
+  }
+  fa.round();
+  hfl.round();
+  nebula.round();
+  nebula.edge_config().epochs = 8;  // per-device step after the shift
+  for (std::int64_t k = 0; k < eval_n; ++k) {
+    nebula.adapt_device(k, /*query_cloud=*/true, /*local_train=*/true,
+                        /*upload=*/true);
+  }
+
+  // ---- Evaluation ---------------------------------------------------------------
+  AdaptationResult res;
+  for (std::int64_t k = 0; k < eval_n; ++k) {
+    res.na += na.eval_device(k, scale.test_samples);
+    res.la += la.eval_device(k, scale.test_samples);
+    res.an += an.eval_device(k, scale.test_samples);
+    res.fa += fa.eval_device(k, scale.test_samples);
+    res.hfl += hfl.eval_device(k, scale.test_samples);
+    res.nebula += nebula.eval_device(k, scale.test_samples);
+  }
+  const double inv = 1.0 / static_cast<double>(eval_n);
+  res.na *= inv;
+  res.la *= inv;
+  res.an *= inv;
+  res.fa *= inv;
+  res.hfl *= inv;
+  res.nebula *= inv;
+  res.comm_mb_fa = fa.ledger().total_mb();
+  res.comm_mb_hfl = hfl.ledger().total_mb();
+  res.comm_mb_nebula = nebula.ledger().total_mb();
+  return res;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean_of(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace nebula

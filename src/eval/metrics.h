@@ -1,0 +1,60 @@
+// Evaluation metrics beyond plain accuracy: top-k accuracy, per-class
+// accuracy, confusion matrices, and a convergence tracker used by the
+// time-to-accuracy experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nebula {
+
+/// Fraction of samples whose true label ranks in the top k logits.
+float topk_accuracy(const Tensor& logits,
+                    const std::vector<std::int64_t>& labels, std::int64_t k);
+
+/// Row-normalised confusion matrix: entry (i, j) = P(pred j | true i).
+/// Rows with no samples are zero.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void add(const Tensor& logits, const std::vector<std::int64_t>& labels);
+  void reset();
+
+  double at(std::int64_t truth, std::int64_t pred) const;
+  /// Per-class recall (diagonal of the normalised matrix).
+  std::vector<double> per_class_accuracy() const;
+  /// Mean of per-class accuracies over classes that appeared (balanced acc).
+  double balanced_accuracy() const;
+  std::int64_t total_samples() const { return total_; }
+
+ private:
+  std::int64_t num_classes_;
+  std::vector<std::int64_t> counts_;  // row-major (truth, pred)
+  std::vector<std::int64_t> row_totals_;
+  std::int64_t total_ = 0;
+};
+
+/// Tracks an accuracy series and reports when it converged (first index
+/// reaching `ratio` of the final value) — the metric behind Figure 7's
+/// communication-to-convergence accounting.
+class ConvergenceTracker {
+ public:
+  void record(double accuracy) { series_.push_back(accuracy); }
+  const std::vector<double>& series() const { return series_; }
+
+  /// Index of convergence, or the last index if the series never reaches
+  /// ratio * final. -1 for an empty series.
+  std::int64_t converged_at(double ratio = 0.95) const;
+
+  double final_accuracy() const {
+    return series_.empty() ? 0.0 : series_.back();
+  }
+
+ private:
+  std::vector<double> series_;
+};
+
+}  // namespace nebula

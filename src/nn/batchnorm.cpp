@@ -1,0 +1,147 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace nebula {
+
+BatchNorm::BatchNorm(std::int64_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({features}, "bn.gamma"),
+      beta_({features}, "bn.beta"),
+      running_mean_({features}),
+      running_var_({features}) {
+  NEBULA_CHECK(features > 0);
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+void BatchNorm::feature_layout(const Tensor& x, std::int64_t& groups,
+                               std::int64_t& inner) const {
+  if (x.rank() == 2) {
+    NEBULA_CHECK_MSG(x.dim(1) == features_, "BatchNorm feature mismatch");
+    groups = x.dim(0);
+    inner = 1;
+  } else if (x.rank() == 4) {
+    NEBULA_CHECK_MSG(x.dim(1) == features_, "BatchNorm channel mismatch");
+    groups = x.dim(0);
+    inner = x.dim(2) * x.dim(3);
+  } else {
+    NEBULA_CHECK_MSG(false, "BatchNorm expects rank-2 or rank-4 input");
+  }
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  std::int64_t groups = 0, inner = 0;
+  feature_layout(x, groups, inner);
+  const std::int64_t count = groups * inner;  // elements per feature
+  NEBULA_CHECK_MSG(count > 0, "BatchNorm empty batch");
+
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
+
+  auto index = [&](std::int64_t g, std::int64_t f, std::int64_t i) {
+    return (g * features_ + f) * inner + i;
+  };
+
+  if (train) {
+    in_shape_ = x.shape();
+    x_hat_ = Tensor(x.shape());
+    batch_inv_std_ = Tensor({features_});
+    for (std::int64_t f = 0; f < features_; ++f) {
+      double m = 0.0;
+      for (std::int64_t g = 0; g < groups; ++g) {
+        for (std::int64_t i = 0; i < inner; ++i) m += xd[index(g, f, i)];
+      }
+      const float mu = static_cast<float>(m / count);
+      double v = 0.0;
+      for (std::int64_t g = 0; g < groups; ++g) {
+        for (std::int64_t i = 0; i < inner; ++i) {
+          const float d = xd[index(g, f, i)] - mu;
+          v += static_cast<double>(d) * d;
+        }
+      }
+      const float var = static_cast<float>(v / count);
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      batch_inv_std_[static_cast<std::size_t>(f)] = inv_std;
+      running_mean_[static_cast<std::size_t>(f)] =
+          (1.0f - momentum_) * running_mean_[static_cast<std::size_t>(f)] +
+          momentum_ * mu;
+      running_var_[static_cast<std::size_t>(f)] =
+          (1.0f - momentum_) * running_var_[static_cast<std::size_t>(f)] +
+          momentum_ * var;
+      const float gm = gamma_.value[static_cast<std::size_t>(f)];
+      const float bt = beta_.value[static_cast<std::size_t>(f)];
+      for (std::int64_t g = 0; g < groups; ++g) {
+        for (std::int64_t i = 0; i < inner; ++i) {
+          const std::int64_t ix = index(g, f, i);
+          const float xh = (xd[ix] - mu) * inv_std;
+          x_hat_[static_cast<std::size_t>(ix)] = xh;
+          yd[ix] = gm * xh + bt;
+        }
+      }
+    }
+  } else {
+    for (std::int64_t f = 0; f < features_; ++f) {
+      const float mu = running_mean_[static_cast<std::size_t>(f)];
+      const float inv_std =
+          1.0f / std::sqrt(running_var_[static_cast<std::size_t>(f)] + eps_);
+      const float gm = gamma_.value[static_cast<std::size_t>(f)];
+      const float bt = beta_.value[static_cast<std::size_t>(f)];
+      for (std::int64_t g = 0; g < groups; ++g) {
+        for (std::int64_t i = 0; i < inner; ++i) {
+          const std::int64_t ix = index(g, f, i);
+          yd[ix] = gm * (xd[ix] - mu) * inv_std + bt;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  NEBULA_CHECK_MSG(!x_hat_.empty(), "BatchNorm::backward without forward");
+  std::int64_t groups = 0, inner = 0;
+  {
+    Tensor probe(in_shape_);
+    feature_layout(probe, groups, inner);
+  }
+  const std::int64_t count = groups * inner;
+  Tensor dx(in_shape_);
+  const float* gy = grad_out.data();
+  float* dxd = dx.data();
+
+  auto index = [&](std::int64_t g, std::int64_t f, std::int64_t i) {
+    return (g * features_ + f) * inner + i;
+  };
+
+  for (std::int64_t f = 0; f < features_; ++f) {
+    const float gm = gamma_.value[static_cast<std::size_t>(f)];
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(f)];
+    double sum_gy = 0.0, sum_gy_xh = 0.0;
+    for (std::int64_t g = 0; g < groups; ++g) {
+      for (std::int64_t i = 0; i < inner; ++i) {
+        const std::int64_t ix = index(g, f, i);
+        sum_gy += gy[ix];
+        sum_gy_xh += static_cast<double>(gy[ix]) *
+                     x_hat_[static_cast<std::size_t>(ix)];
+      }
+    }
+    gamma_.grad[static_cast<std::size_t>(f)] += static_cast<float>(sum_gy_xh);
+    beta_.grad[static_cast<std::size_t>(f)] += static_cast<float>(sum_gy);
+    const float mean_gy = static_cast<float>(sum_gy / count);
+    const float mean_gy_xh = static_cast<float>(sum_gy_xh / count);
+    for (std::int64_t g = 0; g < groups; ++g) {
+      for (std::int64_t i = 0; i < inner; ++i) {
+        const std::int64_t ix = index(g, f, i);
+        const float xh = x_hat_[static_cast<std::size_t>(ix)];
+        dxd[ix] = gm * inv_std * (gy[ix] - mean_gy - xh * mean_gy_xh);
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace nebula

@@ -1,0 +1,52 @@
+// Batch normalisation for 2-D activations (N, F) and 4-D feature maps
+// (N, C, H, W). Running statistics are tracked as buffers so they travel with
+// the model state during edge-cloud transfer and aggregation.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace nebula {
+
+/// Shared implementation: normalises over all axes except the feature axis.
+class BatchNorm : public Layer {
+ public:
+  /// `features` is F for rank-2 inputs and C for rank-4 inputs.
+  explicit BatchNorm(std::int64_t features, float momentum = 0.1f,
+                     float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+  std::string name() const override { return "BatchNorm"; }
+  std::vector<std::int64_t> out_shape(
+      std::vector<std::int64_t> in_shape) const override {
+    return in_shape;
+  }
+  std::int64_t flops(const std::vector<std::int64_t>& in_shape) const override {
+    return 4 * Tensor::numel_from(in_shape);
+  }
+
+  LayerPtr clone() const override { return std::make_unique<BatchNorm>(*this); }
+
+  std::int64_t features() const { return features_; }
+
+ private:
+  // Computes per-feature strides for rank-2/rank-4 inputs.
+  void feature_layout(const Tensor& x, std::int64_t& groups,
+                      std::int64_t& inner) const;
+
+  std::int64_t features_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Training-time caches for backward.
+  Tensor x_hat_;
+  Tensor batch_inv_std_;  // (features)
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace nebula

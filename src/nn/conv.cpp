@@ -1,0 +1,260 @@
+#include "nn/conv.h"
+
+#include <limits>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace nebula {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      w_({out_channels, in_channels * kernel * kernel}, "conv.w"),
+      b_({out_channels}, "conv.b") {
+  NEBULA_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+  init::he_normal(w_.value, in_channels * kernel * kernel, init::default_rng());
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  NEBULA_CHECK_MSG(x.rank() == 4 && x.dim(1) == in_c_,
+                   "Conv2d expects (N, " << in_c_ << ", H, W), got "
+                                         << x.shape_str());
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = conv_out_size(h, k_, stride_, pad_);
+  const std::int64_t ow = conv_out_size(w, k_, stride_, pad_);
+  NEBULA_CHECK_MSG(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
+  if (train) {
+    cached_input_ = x;
+    in_shape_ = x.shape();
+  }
+  const std::int64_t col_rows = in_c_ * k_ * k_;
+  const std::int64_t col_cols = oh * ow;
+  Tensor y({n, out_c_, oh, ow});
+  Tensor col({col_rows, col_cols});
+  Tensor out_mat({out_c_, col_cols});
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_,
+           col.data());
+    matmul(w_.value, col, out_mat);
+    float* yi = y.data() + i * out_c_ * col_cols;
+    const float* om = out_mat.data();
+    if (has_bias_) {
+      const float* bd = b_.value.data();
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        for (std::int64_t p = 0; p < col_cols; ++p) {
+          yi[c * col_cols + p] = om[c * col_cols + p] + bd[c];
+        }
+      }
+    } else {
+      std::copy(om, om + out_c_ * col_cols, yi);
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  NEBULA_CHECK_MSG(!cached_input_.empty(),
+                   "Conv2d::backward without forward(train=true)");
+  const std::int64_t n = in_shape_[0], h = in_shape_[2], w = in_shape_[3];
+  const std::int64_t oh = conv_out_size(h, k_, stride_, pad_);
+  const std::int64_t ow = conv_out_size(w, k_, stride_, pad_);
+  const std::int64_t col_rows = in_c_ * k_ * k_;
+  const std::int64_t col_cols = oh * ow;
+  NEBULA_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+               grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+               grad_out.dim(3) == ow);
+
+  Tensor dx(in_shape_);
+  Tensor col({col_rows, col_cols});
+  Tensor dcol({col_rows, col_cols});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* gy = grad_out.data() + i * out_c_ * col_cols;
+    // dW += gy(out_c, P) * col(rows, P)^T
+    im2col(cached_input_.data() + i * in_c_ * h * w, in_c_, h, w, k_, k_,
+           stride_, pad_, col.data());
+    {
+      float* gw = w_.grad.data();
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        const float* gyc = gy + c * col_cols;
+        float* gwc = gw + c * col_rows;
+        for (std::int64_t r = 0; r < col_rows; ++r) {
+          const float* cr = col.data() + r * col_cols;
+          float acc = 0.0f;
+          for (std::int64_t p = 0; p < col_cols; ++p) acc += gyc[p] * cr[p];
+          gwc[r] += acc;
+        }
+      }
+    }
+    if (has_bias_) {
+      float* gb = b_.grad.data();
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        const float* gyc = gy + c * col_cols;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < col_cols; ++p) acc += gyc[p];
+        gb[c] += acc;
+      }
+    }
+    // dcol = W^T(rows, out_c) * gy(out_c, P)
+    {
+      float* dc = dcol.data();
+      const float* wd = w_.value.data();
+      for (std::int64_t r = 0; r < col_rows; ++r) {
+        float* dcr = dc + r * col_cols;
+        std::fill(dcr, dcr + col_cols, 0.0f);
+        for (std::int64_t c = 0; c < out_c_; ++c) {
+          const float wrc = wd[c * col_rows + r];
+          if (wrc == 0.0f) continue;
+          const float* gyc = gy + c * col_cols;
+          for (std::int64_t p = 0; p < col_cols; ++p) dcr[p] += wrc * gyc[p];
+        }
+      }
+    }
+    col2im(dcol.data(), in_c_, h, w, k_, k_, stride_, pad_,
+           dx.data() + i * in_c_ * h * w);
+  }
+  return dx;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (has_bias_) return {&w_, &b_};
+  return {&w_};
+}
+
+std::vector<std::int64_t> Conv2d::out_shape(
+    std::vector<std::int64_t> in_shape) const {
+  NEBULA_CHECK(in_shape.size() == 4 && in_shape[1] == in_c_);
+  return {in_shape[0], out_c_, conv_out_size(in_shape[2], k_, stride_, pad_),
+          conv_out_size(in_shape[3], k_, stride_, pad_)};
+}
+
+std::int64_t Conv2d::flops(const std::vector<std::int64_t>& in_shape) const {
+  const auto os = out_shape(in_shape);
+  const std::int64_t per_pixel = 2 * in_c_ * k_ * k_;
+  return out_c_ * os[2] * os[3] * per_pixel;
+}
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : k_(kernel), stride_(stride == 0 ? kernel : stride) {
+  NEBULA_CHECK(kernel > 0);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  NEBULA_CHECK(x.rank() == 4);
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = conv_out_size(h, k_, stride_, 0);
+  const std::int64_t ow = conv_out_size(w, k_, stride_, 0);
+  NEBULA_CHECK_MSG(oh > 0 && ow > 0, "MaxPool2d output collapsed to zero");
+  if (train) {
+    in_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(n * c * oh * ow), 0);
+  }
+  Tensor y({n, c, oh, ow});
+  const float* xd = x.data();
+  float* yd = y.data();
+  std::int64_t oi = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = xd + (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < k_; ++ky) {
+            const std::int64_t iy = oy * stride_ + ky;
+            if (iy >= h) break;
+            for (std::int64_t kx = 0; kx < k_; ++kx) {
+              const std::int64_t ix = ox * stride_ + kx;
+              if (ix >= w) break;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
+            }
+          }
+          yd[oi] = best;
+          if (train) {
+            argmax_[static_cast<std::size_t>(oi)] =
+                static_cast<std::int32_t>(best_idx);
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  NEBULA_CHECK_MSG(!in_shape_.empty(), "MaxPool2d::backward without forward");
+  const std::int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
+                     w = in_shape_[3];
+  Tensor dx(in_shape_);
+  const std::int64_t out_hw = grad_out.dim(2) * grad_out.dim(3);
+  const float* gy = grad_out.data();
+  float* dxd = dx.data();
+  std::int64_t oi = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      float* plane = dxd + (i * c + ch) * h * w;
+      for (std::int64_t p = 0; p < out_hw; ++p, ++oi) {
+        plane[argmax_[static_cast<std::size_t>(oi)]] += gy[oi];
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<std::int64_t> MaxPool2d::out_shape(
+    std::vector<std::int64_t> in_shape) const {
+  NEBULA_CHECK(in_shape.size() == 4);
+  return {in_shape[0], in_shape[1], conv_out_size(in_shape[2], k_, stride_, 0),
+          conv_out_size(in_shape[3], k_, stride_, 0)};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  NEBULA_CHECK(x.rank() == 4);
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  if (train) in_shape_ = x.shape();
+  Tensor y({n, c});
+  const float* xd = x.data();
+  float* yd = y.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    const float* plane = xd + i * hw;
+    float acc = 0.0f;
+    for (std::int64_t p = 0; p < hw; ++p) acc += plane[p];
+    yd[i] = acc * inv;
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  NEBULA_CHECK_MSG(!in_shape_.empty(), "GlobalAvgPool::backward without forward");
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     hw = in_shape_[2] * in_shape_[3];
+  Tensor dx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(hw);
+  const float* gy = grad_out.data();
+  float* dxd = dx.data();
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    const float g = gy[i] * inv;
+    float* plane = dxd + i * hw;
+    for (std::int64_t p = 0; p < hw; ++p) plane[p] = g;
+  }
+  return dx;
+}
+
+std::vector<std::int64_t> GlobalAvgPool::out_shape(
+    std::vector<std::int64_t> in_shape) const {
+  NEBULA_CHECK(in_shape.size() == 4);
+  return {in_shape[0], in_shape[1]};
+}
+
+}  // namespace nebula

@@ -1,0 +1,98 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace nebula {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  NEBULA_CHECK(logits.rank() == 2);
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  NEBULA_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == n,
+                   "label count mismatch");
+  LossResult res;
+  res.grad = Tensor({n, c});
+  Tensor logp = log_softmax_rows(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    NEBULA_CHECK_MSG(y >= 0 && y < c, "label " << y << " out of range [0,"
+                                               << c << ")");
+    const float* lp = logp.data() + r * c;
+    loss -= lp[y];
+    float* g = res.grad.data() + r * c;
+    for (std::int64_t j = 0; j < c; ++j) g[j] = std::exp(lp[j]) * inv_n;
+    g[y] -= inv_n;
+  }
+  res.loss = static_cast<float>(loss / n);
+  return res;
+}
+
+LossResult kl_to_target(const Tensor& logits, const Tensor& target) {
+  NEBULA_CHECK(logits.rank() == 2 && target.rank() == 2);
+  NEBULA_CHECK(logits.dim(0) == target.dim(0) &&
+               logits.dim(1) == target.dim(1));
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  LossResult res;
+  res.grad = Tensor({n, c});
+  Tensor logp = log_softmax_rows(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* t = target.data() + r * c;
+    const float* lp = logp.data() + r * c;
+    float* g = res.grad.data() + r * c;
+    float trow = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      if (t[j] > 0.0f) {
+        loss += static_cast<double>(t[j]) *
+                (std::log(t[j] + 1e-12f) - lp[j]);
+      }
+      trow += t[j];
+    }
+    // d/dlogits KL(t || softmax) = softmax(logits) * sum(t) - t. With a
+    // proper distribution sum(t) == 1 and this is p - t.
+    for (std::int64_t j = 0; j < c; ++j) {
+      g[j] = (std::exp(lp[j]) * trow - t[j]) * inv_n;
+    }
+  }
+  res.loss = static_cast<float>(loss / n);
+  return res;
+}
+
+LossResult mse(const Tensor& pred, const Tensor& target) {
+  NEBULA_CHECK(pred.numel() == target.numel());
+  LossResult res;
+  res.grad = Tensor(pred.shape());
+  const std::int64_t n = pred.numel();
+  double loss = 0.0;
+  const float scale = 2.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pred[static_cast<std::size_t>(i)] -
+                    target[static_cast<std::size_t>(i)];
+    loss += static_cast<double>(d) * d;
+    res.grad[static_cast<std::size_t>(i)] = scale * d;
+  }
+  res.loss = static_cast<float>(loss / n);
+  return res;
+}
+
+float accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  NEBULA_CHECK(logits.rank() == 2);
+  const std::int64_t n = logits.dim(0);
+  NEBULA_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  if (n == 0) return 0.0f;
+  std::int64_t correct = 0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    if (argmax_row(logits, r) == labels[static_cast<std::size_t>(r)]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace nebula

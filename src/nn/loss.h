@@ -1,0 +1,33 @@
+// Loss functions. Each returns the scalar loss and the gradient with respect
+// to the logits/predictions, ready to feed into Layer::backward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nebula {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // dL/d(logits), same shape as the input logits
+};
+
+/// Softmax cross-entropy from raw logits (N, C) against integer labels.
+/// Loss is averaged over the batch.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+/// KL(target || softmax(logits)) averaged over the batch. `target` rows must
+/// be probability distributions. Used for the §4.3 selector fine-tuning,
+/// where the target encodes the recommended modules (g_label).
+LossResult kl_to_target(const Tensor& logits, const Tensor& target);
+
+/// Mean squared error between prediction and target (same shape).
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+/// Classification accuracy of logits (N, C) against labels.
+float accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace nebula

@@ -1,0 +1,23 @@
+#include "nn/sequential.h"
+
+#include "tensor/ops.h"
+
+namespace nebula {
+
+Tensor Residual::forward(const Tensor& x, bool train) {
+  Tensor y = inner_->forward(x, train);
+  NEBULA_CHECK_MSG(y.numel() == x.numel(),
+                   "Residual inner stack changed shape: " << x.shape_str()
+                                                          << " -> "
+                                                          << y.shape_str());
+  add_inplace(y, x);
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor dx = inner_->backward(grad_out);
+  add_inplace(dx, grad_out);
+  return dx;
+}
+
+}  // namespace nebula

@@ -1,0 +1,69 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/check.h"
+#include "nn/state.h"
+
+namespace nebula {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'E', 'B', 'U', 'L', 'A', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void save_state_file(const std::string& path,
+                     const std::vector<float>& state) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  NEBULA_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+  NEBULA_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) ==
+               sizeof(kMagic));
+  const std::int64_t count = static_cast<std::int64_t>(state.size());
+  NEBULA_CHECK(std::fwrite(&count, sizeof(count), 1, f.get()) == 1);
+  if (count > 0) {
+    NEBULA_CHECK_MSG(
+        std::fwrite(state.data(), sizeof(float), state.size(), f.get()) ==
+            state.size(),
+        "short write to " << path);
+  }
+}
+
+std::vector<float> load_state_file(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  NEBULA_CHECK_MSG(f != nullptr, "cannot open " << path);
+  char magic[8];
+  NEBULA_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f.get()) ==
+                           sizeof(magic) &&
+                       std::memcmp(magic, kMagic, sizeof(magic)) == 0,
+                   path << " is not a Nebula state file");
+  std::int64_t count = 0;
+  NEBULA_CHECK(std::fread(&count, sizeof(count), 1, f.get()) == 1);
+  NEBULA_CHECK_MSG(count >= 0, "corrupt state file " << path);
+  std::vector<float> state(static_cast<std::size_t>(count));
+  if (count > 0) {
+    NEBULA_CHECK_MSG(std::fread(state.data(), sizeof(float), state.size(),
+                                f.get()) == state.size(),
+                     "short read from " << path);
+  }
+  return state;
+}
+
+void save_model(const std::string& path, Layer& model) {
+  save_state_file(path, get_state(model));
+}
+
+void load_model(const std::string& path, Layer& model) {
+  set_state(model, load_state_file(path));
+}
+
+}  // namespace nebula

@@ -1,0 +1,28 @@
+// Binary model-state serialisation.
+//
+// Format: 8-byte magic "NEBULA01", int64 float count, raw little-endian
+// float32 payload. The architecture itself is not serialised — states load
+// into models rebuilt from the same factory, mirroring how the edge-cloud
+// protocol ships flat state vectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nebula {
+
+/// Writes a flat state vector to `path`. Throws on I/O failure.
+void save_state_file(const std::string& path, const std::vector<float>& state);
+
+/// Reads a state vector written by `save_state_file`.
+std::vector<float> load_state_file(const std::string& path);
+
+/// Convenience: serialise a model's full state (params + buffers).
+void save_model(const std::string& path, Layer& model);
+
+/// Convenience: load into an architecturally identical model.
+void load_model(const std::string& path, Layer& model);
+
+}  // namespace nebula

@@ -1,0 +1,60 @@
+#include "nn/state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nebula {
+
+std::int64_t state_size(Layer& layer) {
+  std::int64_t n = 0;
+  for (Param* p : layer.params()) n += p->value.numel();
+  for (Tensor* b : layer.buffers()) n += b->numel();
+  return n;
+}
+
+std::int64_t param_size(Layer& layer) {
+  std::int64_t n = 0;
+  for (Param* p : layer.params()) n += p->value.numel();
+  return n;
+}
+
+std::vector<float> get_state(Layer& layer) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(state_size(layer)));
+  for (Param* p : layer.params()) {
+    const auto& s = p->value.storage();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  for (Tensor* b : layer.buffers()) {
+    const auto& s = b->storage();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+void set_state(Layer& layer, const std::vector<float>& state) {
+  NEBULA_CHECK_MSG(
+      static_cast<std::int64_t>(state.size()) == state_size(layer),
+      "state vector size mismatch: " << state.size() << " vs expected "
+                                     << state_size(layer));
+  std::size_t off = 0;
+  for (Param* p : layer.params()) {
+    auto& s = p->value.storage();
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(off),
+              state.begin() + static_cast<std::ptrdiff_t>(off + s.size()),
+              s.begin());
+    off += s.size();
+  }
+  for (Tensor* b : layer.buffers()) {
+    auto& s = b->storage();
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(off),
+              state.begin() + static_cast<std::ptrdiff_t>(off + s.size()),
+              s.begin());
+    off += s.size();
+  }
+}
+
+void copy_state(Layer& from, Layer& to) { set_state(to, get_state(from)); }
+
+}  // namespace nebula

@@ -1,0 +1,38 @@
+// Model state (de)serialisation to flat float vectors.
+//
+// The edge-cloud protocol, the aggregators and the communication-cost
+// accounting all operate on flat state vectors: two models with identical
+// architectures exchange state by copying vectors, and the transferred byte
+// count is simply 4 * state_size(). Buffers (batch-norm running statistics)
+// are included after the trainable parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nebula {
+
+/// Number of floats in the full state (params + buffers) of `layer`.
+std::int64_t state_size(Layer& layer);
+
+/// Number of trainable parameters only.
+std::int64_t param_size(Layer& layer);
+
+/// Serialises params then buffers into one flat vector.
+std::vector<float> get_state(Layer& layer);
+
+/// Loads a flat vector produced by `get_state` from an architecturally
+/// identical model.
+void set_state(Layer& layer, const std::vector<float>& state);
+
+/// Copies state between two architecturally identical models.
+void copy_state(Layer& from, Layer& to);
+
+/// Bytes on the wire for transferring this model's state.
+inline std::int64_t state_bytes(Layer& layer) {
+  return state_size(layer) * static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace nebula

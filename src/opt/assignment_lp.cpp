@@ -1,0 +1,141 @@
+#include "opt/assignment_lp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace nebula {
+
+namespace {
+
+void validate(const AssignmentProblem& p) {
+  NEBULA_CHECK(p.num_subtasks > 0 && p.num_modules > 0);
+  NEBULA_CHECK(static_cast<std::int64_t>(p.h.size()) ==
+               p.num_subtasks * p.num_modules);
+  NEBULA_CHECK(p.kappa1 > 0 && p.kappa2 > 0);
+}
+
+double objective_of(const AssignmentProblem& p,
+                    const std::vector<std::uint8_t>& mask) {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) obj += p.h[i];
+  }
+  return obj;
+}
+
+}  // namespace
+
+AssignmentResult solve_assignment(const AssignmentProblem& p) {
+  validate(p);
+  const std::int64_t t_count = p.num_subtasks, n_count = p.num_modules;
+  AssignmentResult res;
+  res.mask.assign(static_cast<std::size_t>(t_count * n_count), 0);
+  std::vector<std::int64_t> row_used(static_cast<std::size_t>(t_count), 0);
+  std::vector<std::int64_t> col_used(static_cast<std::size_t>(n_count), 0);
+
+  // Coverage floor: each sub-task takes its best module first, preferring
+  // columns with remaining capacity.
+  for (std::int64_t t = 0; t < t_count; ++t) {
+    std::int64_t best = -1, best_free = -1;
+    for (std::int64_t n = 0; n < n_count; ++n) {
+      if (best < 0 || p.at(t, n) > p.at(t, best)) best = n;
+      if (col_used[static_cast<std::size_t>(n)] < p.kappa1 &&
+          (best_free < 0 || p.at(t, n) > p.at(t, best_free))) {
+        best_free = n;
+      }
+    }
+    const std::int64_t pick = best_free >= 0 ? best_free : best;
+    res.mask[static_cast<std::size_t>(t * n_count + pick)] = 1;
+    ++row_used[static_cast<std::size_t>(t)];
+    ++col_used[static_cast<std::size_t>(pick)];
+  }
+
+  // Greedy fill by descending weight within remaining capacity.
+  std::vector<std::size_t> order(p.h.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (p.h[a] != p.h[b]) return p.h[a] > p.h[b];
+    return a < b;
+  });
+  for (std::size_t i : order) {
+    if (res.mask[i]) continue;
+    if (p.h[i] <= 0.0) break;
+    const std::int64_t t = static_cast<std::int64_t>(i) / n_count;
+    const std::int64_t n = static_cast<std::int64_t>(i) % n_count;
+    if (row_used[static_cast<std::size_t>(t)] >= p.kappa2) continue;
+    if (col_used[static_cast<std::size_t>(n)] >= p.kappa1) continue;
+    res.mask[i] = 1;
+    ++row_used[static_cast<std::size_t>(t)];
+    ++col_used[static_cast<std::size_t>(n)];
+  }
+
+  // Swap improvement within each row: replace an assigned module with a
+  // higher-weight unassigned one whose column has capacity.
+  bool improved = true;
+  int guard = 0;
+  while (improved && guard++ < 32) {
+    improved = false;
+    for (std::int64_t t = 0; t < t_count; ++t) {
+      for (std::int64_t n_out = 0; n_out < n_count; ++n_out) {
+        const std::size_t i_out = static_cast<std::size_t>(t * n_count + n_out);
+        if (!res.mask[i_out]) continue;
+        if (row_used[static_cast<std::size_t>(t)] == 1) break;  // keep coverage
+        for (std::int64_t n_in = 0; n_in < n_count; ++n_in) {
+          const std::size_t i_in = static_cast<std::size_t>(t * n_count + n_in);
+          if (res.mask[i_in] || p.h[i_in] <= p.h[i_out]) continue;
+          if (col_used[static_cast<std::size_t>(n_in)] >= p.kappa1) continue;
+          res.mask[i_out] = 0;
+          res.mask[i_in] = 1;
+          --col_used[static_cast<std::size_t>(n_out)];
+          ++col_used[static_cast<std::size_t>(n_in)];
+          improved = true;
+          break;
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+  }
+
+  res.objective = objective_of(p, res.mask);
+  return res;
+}
+
+AssignmentResult solve_assignment_exact(const AssignmentProblem& p) {
+  validate(p);
+  const std::int64_t cells = p.num_subtasks * p.num_modules;
+  NEBULA_CHECK_MSG(cells <= 20, "exact assignment limited to 20 cells");
+  AssignmentResult best;
+  best.mask.assign(static_cast<std::size_t>(cells), 0);
+  best.objective = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << cells); ++mask) {
+    std::vector<std::int64_t> row(static_cast<std::size_t>(p.num_subtasks), 0);
+    std::vector<std::int64_t> col(static_cast<std::size_t>(p.num_modules), 0);
+    bool ok = true;
+    double obj = 0.0;
+    for (std::int64_t i = 0; i < cells && ok; ++i) {
+      if (!(mask & (1u << i))) continue;
+      const std::int64_t t = i / p.num_modules, n = i % p.num_modules;
+      if (++row[static_cast<std::size_t>(t)] > p.kappa2 ||
+          ++col[static_cast<std::size_t>(n)] > p.kappa1) {
+        ok = false;
+      }
+      obj += p.h[static_cast<std::size_t>(i)];
+    }
+    if (!ok) continue;
+    for (std::int64_t t = 0; t < p.num_subtasks; ++t) {
+      if (row[static_cast<std::size_t>(t)] == 0) ok = false;  // coverage floor
+    }
+    if (!ok || obj <= best.objective) continue;
+    best.objective = obj;
+    for (std::int64_t i = 0; i < cells; ++i) {
+      best.mask[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+    }
+  }
+  return best;
+}
+
+}  // namespace nebula

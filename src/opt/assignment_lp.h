@@ -1,0 +1,48 @@
+// Constrained 0/1 assignment solver for module ability-enhancing training
+// (paper Eq. 1).
+//
+// Given the sub-task mapping matrix H (T sub-tasks x N modules, h_tn = load
+// of module n in sub-task t), find a mask M in {0,1}^{T x N} maximising
+// <H, M> subject to:
+//   * per-module load:   Σ_t M_tn <= kappa1   (no module is overloaded)
+//   * per-sub-task size: Σ_n M_tn <= kappa2   (compact sub-models)
+// plus a coverage floor: every sub-task keeps at least one module, so the
+// fine-tuning target P = H ⊙ M never zeroes out a sub-task.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nebula {
+
+struct AssignmentProblem {
+  std::int64_t num_subtasks = 0;  // T
+  std::int64_t num_modules = 0;   // N
+  std::vector<double> h;          // row-major T x N
+  std::int64_t kappa1 = 0;        // max sub-tasks per module
+  std::int64_t kappa2 = 0;        // max modules per sub-task
+
+  double at(std::int64_t t, std::int64_t n) const {
+    return h[static_cast<std::size_t>(t * num_modules + n)];
+  }
+};
+
+struct AssignmentResult {
+  std::vector<std::uint8_t> mask;  // row-major T x N, 0/1
+  double objective = 0.0;
+
+  bool get(std::int64_t t, std::int64_t n, std::int64_t num_modules) const {
+    return mask[static_cast<std::size_t>(t * num_modules + n)] != 0;
+  }
+};
+
+/// Greedy-by-weight with capacity tracking, then 2-swap local improvement.
+/// Guarantees every sub-task is assigned >= 1 module (taking its best column
+/// even if that column is at capacity, in which case kappa1 is relaxed for
+/// that single entry — coverage dominates load balance).
+AssignmentResult solve_assignment(const AssignmentProblem& problem);
+
+/// Exhaustive reference for small instances (T*N <= 20); used in tests.
+AssignmentResult solve_assignment_exact(const AssignmentProblem& problem);
+
+}  // namespace nebula

@@ -1,0 +1,227 @@
+#include "opt/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace nebula {
+
+namespace {
+
+bool fits(const std::array<double, kResourceDims>& used,
+          const KnapsackItem& item,
+          const std::array<double, kResourceDims>& budgets) {
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    if (used[j] + item.cost[j] > budgets[j] + 1e-9) return false;
+  }
+  return true;
+}
+
+void add_cost(std::array<double, kResourceDims>& used,
+              const KnapsackItem& item, double sign) {
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    used[j] += sign * item.cost[j];
+  }
+}
+
+double density(const KnapsackItem& item,
+               const std::array<double, kResourceDims>& budgets) {
+  double normalised = 1e-12;
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    if (budgets[j] > 0.0) normalised += item.cost[j] / budgets[j];
+  }
+  return item.value / normalised;
+}
+
+}  // namespace
+
+namespace {
+
+struct GreedyState {
+  std::vector<bool> chosen;
+  std::array<double, kResourceDims> used{};
+  double value = 0.0;
+};
+
+void greedy_fill(const std::vector<KnapsackItem>& items,
+                 const std::array<double, kResourceDims>& budgets,
+                 const std::vector<std::size_t>& order, GreedyState& s) {
+  for (std::size_t i : order) {
+    if (s.chosen[i] || items[i].value <= 0.0) continue;
+    if (fits(s.used, items[i], budgets)) {
+      s.chosen[i] = true;
+      add_cost(s.used, items[i], +1.0);
+      s.value += items[i].value;
+    }
+  }
+}
+
+/// Local search: 1-for-1 swaps, then eject-one-and-refill-greedily. Forced
+/// items are never evicted.
+void improve(const std::vector<KnapsackItem>& items,
+             const std::array<double, kResourceDims>& budgets,
+             const std::vector<bool>& is_forced,
+             const std::vector<std::size_t>& density_order, GreedyState& s) {
+  const std::size_t n = items.size();
+  bool improved = true;
+  int guard = 0;
+  while (improved && guard++ < 64) {
+    improved = false;
+    // 1-for-1 swaps.
+    for (std::size_t out = 0; out < n && !improved; ++out) {
+      if (!s.chosen[out] || is_forced[out]) continue;
+      for (std::size_t in = 0; in < n && !improved; ++in) {
+        if (s.chosen[in] || items[in].value <= items[out].value) continue;
+        auto used = s.used;
+        add_cost(used, items[out], -1.0);
+        if (!fits(used, items[in], budgets)) continue;
+        s.chosen[out] = false;
+        s.chosen[in] = true;
+        add_cost(s.used, items[out], -1.0);
+        add_cost(s.used, items[in], +1.0);
+        s.value += items[in].value - items[out].value;
+        improved = true;
+      }
+    }
+    if (improved) continue;
+    // Eject one item and refill greedily without it (captures 1-out-k-in
+    // moves the pairwise swap cannot reach).
+    for (std::size_t out = 0; out < n && !improved; ++out) {
+      if (!s.chosen[out] || is_forced[out]) continue;
+      GreedyState trial = s;
+      trial.chosen[out] = false;
+      add_cost(trial.used, items[out], -1.0);
+      trial.value -= items[out].value;
+      std::vector<std::size_t> refill_order;
+      refill_order.reserve(density_order.size());
+      for (std::size_t i : density_order) {
+        if (i != out) refill_order.push_back(i);
+      }
+      greedy_fill(items, budgets, refill_order, trial);
+      if (trial.value > s.value + 1e-12) {
+        s = std::move(trial);
+        improved = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+KnapsackResult solve_knapsack(
+    const std::vector<KnapsackItem>& items,
+    const std::array<double, kResourceDims>& budgets,
+    const std::vector<std::size_t>& forced) {
+  const std::size_t n = items.size();
+
+  GreedyState base;
+  base.chosen.assign(n, false);
+  bool feasible = true;
+  for (std::size_t f : forced) {
+    NEBULA_CHECK_MSG(f < n, "forced index out of range");
+    if (base.chosen[f]) continue;
+    base.chosen[f] = true;
+    add_cost(base.used, items[f], +1.0);
+    base.value += items[f].value;
+  }
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    if (base.used[j] > budgets[j] + 1e-9) feasible = false;
+  }
+  std::vector<bool> is_forced(n, false);
+  for (std::size_t f : forced) is_forced[f] = true;
+
+  // Candidate orders: budget-normalised density, and raw value.
+  std::vector<std::size_t> density_order, value_order;
+  for (std::size_t i = 0; i < n; ++i) {
+    density_order.push_back(i);
+    value_order.push_back(i);
+  }
+  std::sort(density_order.begin(), density_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double da = density(items[a], budgets);
+              const double db = density(items[b], budgets);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  std::sort(value_order.begin(), value_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (items[a].value != items[b].value) {
+                return items[a].value > items[b].value;
+              }
+              return a < b;
+            });
+
+  GreedyState best;
+  bool have_best = false;
+  for (const auto* order : {&density_order, &value_order}) {
+    GreedyState s = base;
+    greedy_fill(items, budgets, *order, s);
+    improve(items, budgets, is_forced, density_order, s);
+    if (!have_best || s.value > best.value) {
+      best = std::move(s);
+      have_best = true;
+    }
+  }
+
+  KnapsackResult res;
+  res.chosen = std::move(best.chosen);
+  res.used = best.used;
+  res.value = best.value;
+  res.feasible = feasible;
+  return res;
+}
+
+KnapsackResult solve_knapsack_exact(
+    const std::vector<KnapsackItem>& items,
+    const std::array<double, kResourceDims>& budgets,
+    const std::vector<std::size_t>& forced) {
+  const std::size_t n = items.size();
+  NEBULA_CHECK_MSG(n <= 24, "exact solver limited to 24 items");
+  std::uint32_t forced_mask = 0;
+  for (std::size_t f : forced) {
+    NEBULA_CHECK(f < n);
+    forced_mask |= (1u << f);
+  }
+
+  KnapsackResult best;
+  best.chosen.assign(n, false);
+  best.value = -std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if ((mask & forced_mask) != forced_mask) continue;
+    std::array<double, kResourceDims> used{};
+    double value = 0.0;
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      if (!(mask & (1u << i))) continue;
+      add_cost(used, items[i], +1.0);
+      value += items[i].value;
+      for (std::size_t j = 0; j < kResourceDims; ++j) {
+        if (used[j] > budgets[j] + 1e-9) ok = false;
+      }
+    }
+    if (!ok || value <= best.value) continue;
+    found = true;
+    best.value = value;
+    best.used = used;
+    for (std::size_t i = 0; i < n; ++i) best.chosen[i] = (mask >> i) & 1u;
+  }
+  if (!found) {
+    // Only the forced set (possibly infeasible) remains.
+    best = KnapsackResult{};
+    best.chosen.assign(n, false);
+    for (std::size_t f : forced) {
+      best.chosen[f] = true;
+      add_cost(best.used, items[f], +1.0);
+      best.value += items[f].value;
+    }
+    for (std::size_t j = 0; j < kResourceDims; ++j) {
+      if (best.used[j] > budgets[j] + 1e-9) best.feasible = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace nebula

@@ -1,0 +1,48 @@
+// Multi-dimensional 0/1 knapsack solver for personalized sub-model
+// derivation (paper Eq. 2).
+//
+// Items are candidate modules with an importance value and a cost in each of
+// the three resource dimensions (communication, computation, memory).
+// Following §5.1, the caller first forces one seed item per module layer
+// (the most important module), then the residual problem is solved with a
+// density-greedy pass plus local swap improvement. The paper uses
+// SciPy/OR-Tools for this step; the solver here is self-contained.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nebula {
+
+inline constexpr std::size_t kResourceDims = 3;  // comm, comp, mem
+
+struct KnapsackItem {
+  double value = 0.0;
+  std::array<double, kResourceDims> cost{};
+};
+
+struct KnapsackResult {
+  std::vector<bool> chosen;  // per item
+  double value = 0.0;
+  std::array<double, kResourceDims> used{};
+  bool feasible = true;  // false if forced items alone exceed a budget
+};
+
+/// Solves max Σ value_i x_i s.t. Σ cost_ij x_i <= budget_j for all j,
+/// with x_i = 1 forced for every index in `forced`.
+///
+/// Algorithm: density greedy (value over budget-normalised cost) followed by
+/// 1-for-1 swap local search until no improving swap exists.
+KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
+                              const std::array<double, kResourceDims>& budgets,
+                              const std::vector<std::size_t>& forced = {});
+
+/// Exhaustive reference solver for small instances (n <= 24). Used by tests
+/// to bound the greedy solver's optimality gap.
+KnapsackResult solve_knapsack_exact(
+    const std::vector<KnapsackItem>& items,
+    const std::array<double, kResourceDims>& budgets,
+    const std::vector<std::size_t>& forced = {});
+
+}  // namespace nebula

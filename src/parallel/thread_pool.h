@@ -1,0 +1,72 @@
+// Shared-memory parallel runtime.
+//
+// A fixed-size worker pool with a `parallel_for` front-end, in the spirit of
+// an OpenMP `parallel for` with static chunking. All heavy kernels (GEMM,
+// convolution, per-device simulation) funnel through this so that thread
+// count is controlled in exactly one place (`ThreadPool::global()`).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nebula {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& global();
+
+  std::size_t size() const { return workers_.size() + 1; }  // +1: caller thread
+
+  /// Runs body(i) for i in [begin, end). Blocks until all iterations finish.
+  /// The caller thread participates, so a 1-thread pool degenerates to a
+  /// serial loop with no synchronisation overhead on the hot path.
+  ///
+  /// `grain` is the minimum number of iterations per task; loops smaller than
+  /// one grain run inline.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Runs body(chunk_begin, chunk_end) over contiguous chunks — preferred for
+  /// kernels that can amortise per-call overhead across a range.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 1);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience free function over the global pool.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t grain = 1) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace nebula

@@ -1,0 +1,93 @@
+#include "sim/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nebula {
+
+const char* device_class_name(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kMobileSoc: return "mobile_soc";
+    case DeviceClass::kIotBoard: return "iot_board";
+    case DeviceClass::kJetsonNano: return "jetson_nano";
+    case DeviceClass::kRaspberryPi: return "raspberry_pi";
+  }
+  return "unknown";
+}
+
+DeviceProfile DeviceProfile::jetson_nano() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kJetsonNano;
+  p.mem_capacity_mb = 4096.0;
+  p.flops_per_sec = 40e9;
+  p.bandwidth_mbps = 80.0;
+  p.has_gpu = true;
+  return p;
+}
+
+DeviceProfile DeviceProfile::raspberry_pi() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kRaspberryPi;
+  p.mem_capacity_mb = 2048.0;
+  p.flops_per_sec = 4e9;
+  p.bandwidth_mbps = 60.0;
+  p.has_gpu = false;
+  return p;
+}
+
+DeviceProfile ProfileSampler::sample_mobile() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kMobileSoc;
+  // RAM clusters at 2/4/6/8/12 GB like the AI-Benchmark histogram.
+  static const double ram_gb[] = {2, 3, 4, 4, 6, 6, 8, 8, 12};
+  p.mem_capacity_mb = ram_gb[rng_.uniform_int(std::size(ram_gb))] * 1024.0;
+  // Compute spread: log-uniform 20–300 GFLOP/s.
+  p.flops_per_sec = 20e9 * std::exp(rng_.uniform() * std::log(300.0 / 20.0));
+  p.bandwidth_mbps = rng_.uniform(30.0, 150.0);
+  p.has_gpu = rng_.uniform() < 0.7;
+  return p;
+}
+
+DeviceProfile ProfileSampler::sample_iot() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kIotBoard;
+  static const double ram_gb[] = {0.5, 1, 1, 2, 2, 4};
+  p.mem_capacity_mb = ram_gb[rng_.uniform_int(std::size(ram_gb))] * 1024.0;
+  p.flops_per_sec = 1e9 * std::exp(rng_.uniform() * std::log(20.0 / 1.0));
+  p.bandwidth_mbps = rng_.uniform(5.0, 60.0);
+  p.has_gpu = false;
+  return p;
+}
+
+std::vector<std::size_t> assign_tiers_by_capacity(
+    const std::vector<DeviceProfile>& profiles, std::size_t num_tiers) {
+  NEBULA_CHECK(num_tiers > 0 && !profiles.empty());
+  std::vector<std::size_t> order(profiles.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (profiles[a].mem_capacity_mb != profiles[b].mem_capacity_mb) {
+      return profiles[a].mem_capacity_mb < profiles[b].mem_capacity_mb;
+    }
+    return a < b;
+  });
+  std::vector<std::size_t> tier(profiles.size(), 0);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    tier[order[rank]] = std::min(num_tiers - 1,
+                                 rank * num_tiers / profiles.size());
+  }
+  return tier;
+}
+
+std::vector<DeviceProfile> ProfileSampler::sample_fleet(
+    std::int64_t n, double mobile_fraction) {
+  NEBULA_CHECK(n > 0 && mobile_fraction >= 0.0 && mobile_fraction <= 1.0);
+  std::vector<DeviceProfile> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    fleet.push_back(rng_.uniform() < mobile_fraction ? sample_mobile()
+                                                     : sample_iot());
+  }
+  return fleet;
+}
+
+}  // namespace nebula

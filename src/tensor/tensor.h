@@ -1,0 +1,105 @@
+// Dense float32 tensor, row-major, owning its storage.
+//
+// This is the numerical substrate for the whole library. It deliberately
+// stays simple: contiguous storage, explicit shapes, no views or broadcast
+// machinery. Layers that need strided access (conv, pooling) compute offsets
+// directly, which keeps the hot loops transparent to the optimiser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nebula {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+    data_.assign(static_cast<std::size_t>(numel_from(shape_)), 0.0f);
+  }
+
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  /// Wraps explicit data; data.size() must match the shape volume.
+  Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    NEBULA_CHECK_MSG(
+        static_cast<std::int64_t>(data_.size()) == numel_from(shape_),
+        "data size " << data_.size() << " != shape volume "
+                     << numel_from(shape_));
+  }
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    NEBULA_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessors (checked): row-major [rows, cols].
+  float& at(std::int64_t r, std::int64_t c) {
+    NEBULA_CHECK(rank() == 2 && r >= 0 && r < shape_[0] && c >= 0 &&
+                 c < shape_[1]);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+
+  /// Reinterprets the shape; the volume must be unchanged.
+  Tensor& reshape(std::vector<std::int64_t> new_shape) {
+    NEBULA_CHECK_MSG(numel_from(new_shape) == numel(),
+                     "reshape volume mismatch");
+    shape_ = std::move(new_shape);
+    return *this;
+  }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Creates a same-shape zero tensor.
+  Tensor zeros_like() const { return Tensor(shape_); }
+
+  std::string shape_str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(shape_[i]);
+    }
+    return s + "]";
+  }
+
+  static std::int64_t numel_from(const std::vector<std::int64_t>& shape) {
+    std::int64_t n = 1;
+    for (auto d : shape) {
+      NEBULA_CHECK_MSG(d >= 0, "negative dimension");
+      n *= d;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace nebula

@@ -1,0 +1,154 @@
+// Module-wise sub-model aggregation tests (§5.2).
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/model_zoo.h"
+
+namespace nebula {
+namespace {
+
+ZooModel make_cloud() {
+  ZooOptions opts;
+  opts.modules_per_layer = 4;
+  opts.init_seed = 505;
+  return make_modular_mlp(8, 3, opts);
+}
+
+EdgeUpdate update_for(ModularModel& cloud, const SubmodelSpec& spec,
+                      float fill_value, double importance,
+                      std::int64_t samples) {
+  auto sub = cloud.derive_submodel(spec);
+  // Overwrite every module and shared parameter with a constant so averages
+  // are easy to verify.
+  for (std::size_t l = 0; l < spec.modules.size(); ++l) {
+    for (std::int64_t gid : spec.modules[l]) {
+      auto s = sub->module_state(l, gid);
+      std::fill(s.begin(), s.end(), fill_value);
+      sub->set_module_state(l, gid, s);
+    }
+  }
+  auto shared = sub->shared_state();
+  std::fill(shared.begin(), shared.end(), fill_value);
+  sub->set_shared_state(shared);
+
+  std::vector<std::vector<double>> imp(spec.modules.size());
+  for (std::size_t l = 0; l < spec.modules.size(); ++l) {
+    imp[l].assign(4, importance);
+  }
+  return make_edge_update(*sub, imp, samples);
+}
+
+TEST(Aggregation, SingleUpdateReplacesContainedModules) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0, 1}};
+  auto up = update_for(*zm.model, spec, 7.0f, 0.5, 100);
+  aggregate_module_wise(*zm.model, {up});
+  for (float v : zm.model->module_state(0, 0)) EXPECT_FLOAT_EQ(v, 7.0f);
+  for (float v : zm.model->module_state(0, 1)) EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(Aggregation, UntouchedModulesKeepCloudWeights) {
+  auto zm = make_cloud();
+  const auto before = zm.model->module_state(0, 2);
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto up = update_for(*zm.model, spec, 7.0f, 0.5, 100);
+  aggregate_module_wise(*zm.model, {up});
+  EXPECT_EQ(zm.model->module_state(0, 2), before);
+}
+
+TEST(Aggregation, ImportanceWeightedAverage) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto up1 = update_for(*zm.model, spec, 10.0f, /*importance=*/0.75, 50);
+  auto up2 = update_for(*zm.model, spec, 2.0f, /*importance=*/0.25, 50);
+  aggregate_module_wise(*zm.model, {up1, up2},
+                        AggregationWeighting::kImportance);
+  // Weighted: 0.75*10 + 0.25*2 = 8.
+  for (float v : zm.model->module_state(0, 0)) EXPECT_NEAR(v, 8.0f, 1e-5);
+}
+
+TEST(Aggregation, UniformWeightingAblation) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto up1 = update_for(*zm.model, spec, 10.0f, 0.75, 50);
+  auto up2 = update_for(*zm.model, spec, 2.0f, 0.25, 50);
+  aggregate_module_wise(*zm.model, {up1, up2},
+                        AggregationWeighting::kUniform);
+  for (float v : zm.model->module_state(0, 0)) EXPECT_NEAR(v, 6.0f, 1e-5);
+}
+
+TEST(Aggregation, SharedStateAveragedBySampleCount) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto up1 = update_for(*zm.model, spec, 9.0f, 0.5, /*samples=*/30);
+  auto up2 = update_for(*zm.model, spec, 3.0f, 0.5, /*samples=*/10);
+  aggregate_module_wise(*zm.model, {up1, up2});
+  // (30*9 + 10*3) / 40 = 7.5.
+  for (float v : zm.model->shared_state()) EXPECT_NEAR(v, 7.5f, 1e-5);
+}
+
+TEST(Aggregation, ServerMixBlendsWithCloud) {
+  auto zm = make_cloud();
+  // Set cloud module 0 to a known constant first.
+  auto s = zm.model->module_state(0, 0);
+  std::fill(s.begin(), s.end(), 4.0f);
+  zm.model->set_module_state(0, 0, s);
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto up = update_for(*zm.model, spec, 8.0f, 0.5, 100);
+  aggregate_module_wise(*zm.model, {up}, AggregationWeighting::kImportance,
+                        /*server_mix=*/0.25f);
+  // 0.75*4 + 0.25*8 = 5.
+  for (float v : zm.model->module_state(0, 0)) EXPECT_NEAR(v, 5.0f, 1e-5);
+}
+
+TEST(Aggregation, DisjointDevicesUpdateDisjointModules) {
+  auto zm = make_cloud();
+  SubmodelSpec s1, s2;
+  s1.modules = {{0}};
+  s2.modules = {{1}};
+  auto up1 = update_for(*zm.model, s1, 1.0f, 0.9, 100);
+  auto up2 = update_for(*zm.model, s2, 2.0f, 0.9, 100);
+  aggregate_module_wise(*zm.model, {up1, up2});
+  for (float v : zm.model->module_state(0, 0)) EXPECT_FLOAT_EQ(v, 1.0f);
+  for (float v : zm.model->module_state(0, 1)) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Aggregation, PayloadBytesCountsStates) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0, 3}};  // module 3 is the identity (0 params)
+  auto up = update_for(*zm.model, spec, 1.0f, 0.5, 10);
+  const std::int64_t expected_floats =
+      static_cast<std::int64_t>(zm.model->module_state(0, 0).size()) +
+      static_cast<std::int64_t>(zm.model->shared_state().size());
+  EXPECT_EQ(up.payload_bytes(), expected_floats * 4);
+}
+
+TEST(Aggregation, EmptyUpdateListIsNoOp) {
+  auto zm = make_cloud();
+  const auto before = zm.model->shared_state();
+  aggregate_module_wise(*zm.model, {});
+  EXPECT_EQ(zm.model->shared_state(), before);
+}
+
+TEST(Aggregation, InvalidServerMixThrows) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto up = update_for(*zm.model, spec, 1.0f, 0.5, 10);
+  EXPECT_THROW(aggregate_module_wise(*zm.model, {up},
+                                     AggregationWeighting::kImportance, 0.0f),
+               std::runtime_error);
+  EXPECT_THROW(aggregate_module_wise(*zm.model, {up},
+                                     AggregationWeighting::kImportance, 1.5f),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,172 @@
+// Common-utility tests: RNG statistical properties and determinism, the
+// table printer, check macros, and the logger.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace nebula {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformMomentsCorrect) {
+  Rng rng(7);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sq / n - 0.25, 1.0 / 12.0, 0.01);  // variance of U(0,1)
+}
+
+TEST(Rng, NormalMomentsCorrect) {
+  Rng rng(8);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+  // Parameterised normal.
+  double m = 0;
+  for (int i = 0; i < n; ++i) m += rng.normal(3.0f, 0.5f);
+  EXPECT_NEAR(m / n, 3.0, 0.02);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ChooseGivesDistinctIndices) {
+  Rng rng(11);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto pick = rng.choose(10, 4);
+    ASSERT_EQ(pick.size(), 4u);
+    std::set<std::size_t> s(pick.begin(), pick.end());
+    EXPECT_EQ(s.size(), 4u);
+    for (auto i : s) EXPECT_LT(i, 10u);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(12);
+  Rng child = parent.fork();
+  // The child stream must not mirror the parent's subsequent outputs.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng rng(13);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(13);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Table, PrintsAlignedColumnsAndAllCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_NE(out.find("+"), std::string::npos);
+  // All rows share the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Check, ThrowsWithExpressionAndMessage) {
+  try {
+    NEBULA_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+  }
+  EXPECT_NO_THROW(NEBULA_CHECK(2 == 2));
+}
+
+TEST(Logging, LevelFiltering) {
+  Logger& log = Logger::instance();
+  const LogLevel old = log.level();
+  log.set_level(LogLevel::kError);
+  EXPECT_EQ(log.level(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (nothing observable to assert
+  // beyond not crashing, but exercises the path).
+  NEBULA_LOG(kInfo) << "suppressed " << 1;
+  NEBULA_LOG(kError) << "";
+  log.set_level(old);
+}
+
+}  // namespace
+}  // namespace nebula

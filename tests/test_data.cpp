@@ -1,0 +1,275 @@
+// Synthetic data generation, non-IID partitioning, and distribution shifts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace nebula {
+namespace {
+
+TEST(Synthetic, SampleShapesAndLabels) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  Rng rng(2);
+  auto out = gen.sample(100, rng);
+  EXPECT_EQ(out.data.size(), 100);
+  EXPECT_EQ(out.data.feature_dim(), 3 * 8 * 8);
+  EXPECT_EQ(out.data.num_classes, 10);
+  for (auto y : out.data.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(Synthetic, SampleClassesRestrictsLabels) {
+  SyntheticGenerator gen(cifar100_like_spec(), 1);
+  Rng rng(3);
+  auto out = gen.sample_classes(64, {5, 17, 42}, rng);
+  std::set<std::int64_t> seen(out.data.labels.begin(), out.data.labels.end());
+  for (auto y : seen) {
+    EXPECT_TRUE(y == 5 || y == 17 || y == 42);
+  }
+}
+
+TEST(Synthetic, InvalidClassThrows) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  Rng rng(4);
+  EXPECT_THROW(gen.sample_classes(4, {10}, rng), std::runtime_error);
+  EXPECT_THROW(gen.sample_classes(4, {}, rng), std::runtime_error);
+}
+
+TEST(Synthetic, SubjectsShiftFeatures) {
+  auto spec = har_like_spec();
+  SyntheticGenerator gen(spec, 1);
+  Rng rng(5);
+  auto a = gen.sample_subject(200, 0, rng);
+  auto b = gen.sample_subject(200, 1, rng);
+  // Same label space…
+  EXPECT_EQ(a.data.num_classes, b.data.num_classes);
+  // …but different feature statistics (per-subject affine transform).
+  double ma = 0.0, mb = 0.0;
+  for (std::int64_t i = 0; i < a.data.features.numel(); ++i) {
+    ma += a.data.features[static_cast<std::size_t>(i)];
+    mb += b.data.features[static_cast<std::size_t>(i)];
+  }
+  ma /= a.data.features.numel();
+  mb /= b.data.features.numel();
+  EXPECT_GT(std::abs(ma - mb), 1e-3);
+}
+
+TEST(Synthetic, ClassesAreLearnablySeparated) {
+  // Nearest-class-centroid classification on fresh samples should beat
+  // chance by a wide margin — guards against degenerate generators.
+  SyntheticGenerator gen(cifar10_like_spec(), 7);
+  Rng rng(8);
+  auto train = gen.sample(2000, rng);
+  auto test = gen.sample(500, rng);
+  const std::int64_t d = train.data.feature_dim();
+  std::vector<std::vector<double>> centroid(
+      10, std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::vector<std::int64_t> count(10, 0);
+  for (std::int64_t i = 0; i < train.data.size(); ++i) {
+    const auto y = train.data.labels[static_cast<std::size_t>(i)];
+    ++count[static_cast<std::size_t>(y)];
+    for (std::int64_t j = 0; j < d; ++j) {
+      centroid[static_cast<std::size_t>(y)][static_cast<std::size_t>(j)] +=
+          train.data.features.data()[i * d + j];
+    }
+  }
+  for (std::int64_t c = 0; c < 10; ++c) {
+    for (auto& v : centroid[static_cast<std::size_t>(c)]) {
+      v /= std::max<std::int64_t>(1, count[static_cast<std::size_t>(c)]);
+    }
+  }
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < test.data.size(); ++i) {
+    double best = 1e30;
+    std::int64_t best_c = 0;
+    for (std::int64_t c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const double diff =
+            test.data.features.data()[i * d + j] -
+            centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == test.data.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.data.size(), 0.5);
+}
+
+TEST(Dataset, SubsetAndAppend) {
+  SyntheticGenerator gen(har_like_spec(), 1);
+  Rng rng(9);
+  Dataset d = gen.sample(10, rng).data;
+  Dataset sub = d.subset({0, 2, 4});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.labels[1], d.labels[2]);
+  Dataset merged = sub;
+  merged.append(d.subset({1}));
+  EXPECT_EQ(merged.size(), 4);
+  EXPECT_EQ(merged.labels[3], d.labels[1]);
+}
+
+TEST(Dataset, BatchViewShapesSamples) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  Rng rng(10);
+  Dataset d = gen.sample(8, rng).data;
+  Tensor batch = d.batch_view({0, 1, 2});
+  EXPECT_EQ(batch.shape(), (std::vector<std::int64_t>{3, 3, 8, 8}));
+  EXPECT_THROW(d.batch_view({99}), std::runtime_error);
+}
+
+TEST(BatchSampler, CoversEveryIndexOnce) {
+  Rng rng(11);
+  BatchSampler sampler(10, 3, rng);
+  std::set<std::size_t> seen;
+  std::size_t batches = 0;
+  for (auto b = sampler.next(); !b.empty(); b = sampler.next()) {
+    ++batches;
+    for (auto i : b) EXPECT_TRUE(seen.insert(i).second) << "duplicate " << i;
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(batches, 4u);  // 3+3+3+1
+}
+
+PartitionConfig label_skew_cfg(std::int64_t devices, std::int64_t m) {
+  PartitionConfig cfg;
+  cfg.num_devices = devices;
+  cfg.classes_per_device = m;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Partition, LabelSkewDevicesHoldMClasses) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(20, 2));
+  for (std::int64_t k = 0; k < 20; ++k) {
+    const auto& task = pop.task(k);
+    EXPECT_EQ(task.classes.size(), 2u);
+    std::set<std::int64_t> allowed(task.classes.begin(), task.classes.end());
+    for (auto y : pop.local_data(k).labels) {
+      EXPECT_TRUE(allowed.count(y)) << "device " << k << " label " << y;
+    }
+  }
+}
+
+TEST(Partition, VolumesWithinConfiguredRange) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(30, 2));
+  for (std::int64_t k = 0; k < 30; ++k) {
+    EXPECT_GE(pop.local_data(k).size(), 50);
+    EXPECT_LE(pop.local_data(k).size(), 150);
+  }
+}
+
+TEST(Partition, ContextsPartitionAllClasses) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(10, 2));
+  std::set<std::int64_t> all;
+  for (std::int64_t c = 0; c < pop.num_contexts(); ++c) {
+    for (auto cls : pop.context_classes(c)) {
+      EXPECT_TRUE(all.insert(cls).second) << "class in two contexts";
+    }
+  }
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(Partition, FeatureSkewAssignsSubjects) {
+  SyntheticGenerator gen(har_like_spec(), 1);
+  PartitionConfig cfg;
+  cfg.num_devices = 15;
+  cfg.classes_per_device = 0;  // feature skew
+  EdgePopulation pop(gen, cfg);
+  EXPECT_EQ(pop.num_contexts(), 30);  // one per subject
+  for (std::int64_t k = 0; k < 15; ++k) {
+    EXPECT_GE(pop.task(k).subject, 0);
+    EXPECT_TRUE(pop.task(k).classes.empty());
+  }
+}
+
+TEST(Partition, SubtaskOfMapsClassesToContexts) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(10, 2));
+  for (std::int64_t cls = 0; cls < 10; ++cls) {
+    const std::int64_t ctx = pop.subtask_of(cls, -1);
+    const auto& classes = pop.context_classes(ctx);
+    EXPECT_TRUE(std::find(classes.begin(), classes.end(), cls) !=
+                classes.end());
+  }
+}
+
+TEST(Shift, ReplacesConfiguredFraction) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  auto cfg = label_skew_cfg(5, 2);
+  cfg.shift_fraction = 0.5f;
+  cfg.context_switch_prob = 0.0f;  // keep the task fixed for this test
+  EdgePopulation pop(gen, cfg);
+  const std::int64_t before = pop.local_data(0).size();
+  Dataset old = pop.local_data(0);
+  EXPECT_FALSE(pop.shift(0));  // no context switch possible
+  EXPECT_EQ(pop.local_data(0).size(), before);  // volume preserved
+  // Roughly half the samples should be new (feature rows differ).
+  const std::int64_t d = old.feature_dim();
+  std::int64_t shared = 0;
+  for (std::int64_t i = 0; i < before; ++i) {
+    for (std::int64_t j = 0; j < before; ++j) {
+      bool same = true;
+      for (std::int64_t f = 0; f < d && same; ++f) {
+        same = old.features.data()[i * d + f] ==
+               pop.local_data(0).features.data()[j * d + f];
+      }
+      if (same) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(shared) / before, 0.5, 0.1);
+}
+
+TEST(Shift, ContextSwitchChangesTask) {
+  SyntheticGenerator gen(cifar100_like_spec(), 1);
+  auto cfg = label_skew_cfg(3, 10);
+  cfg.context_switch_prob = 1.0f;  // force a switch
+  EdgePopulation pop(gen, cfg);
+  const std::int64_t before_ctx = pop.task(0).context;
+  EXPECT_TRUE(pop.shift(0));
+  EXPECT_NE(pop.task(0).context, before_ctx);
+}
+
+TEST(Shift, AllDevicesShiftable) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(8, 2));
+  pop.shift_all();  // must not throw and must preserve volumes
+  for (std::int64_t k = 0; k < 8; ++k) {
+    EXPECT_GE(pop.local_data(k).size(), 50);
+  }
+}
+
+TEST(Partition, ProxyDataCoversAllClasses) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(5, 2));
+  Dataset proxy = pop.proxy_data(1000);
+  std::set<std::int64_t> seen(proxy.labels.begin(), proxy.labels.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Partition, DeviceTestMatchesTask) {
+  SyntheticGenerator gen(cifar10_like_spec(), 1);
+  EdgePopulation pop(gen, label_skew_cfg(5, 2));
+  Dataset test = pop.device_test(3, 64);
+  std::set<std::int64_t> allowed(pop.task(3).classes.begin(),
+                                 pop.task(3).classes.end());
+  for (auto y : test.labels) EXPECT_TRUE(allowed.count(y));
+}
+
+}  // namespace
+}  // namespace nebula

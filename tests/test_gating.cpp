@@ -1,0 +1,194 @@
+// Unified module selector tests: shapes, softmax validity, gradient checks
+// through the selector, importance scores, load-balance loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gating.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace nebula {
+namespace {
+
+using testutil::fill_random;
+
+TEST(Selector, OutputsPerLayerDistributions) {
+  init::reseed(201);
+  ModuleSelector sel(10, 8, {4, 6});
+  Rng rng(1);
+  Tensor x({5, 10});
+  fill_random(x, rng);
+  GateResult g = sel.forward(x, false);
+  ASSERT_EQ(g.probs.size(), 2u);
+  EXPECT_EQ(g.probs[0].shape(), (std::vector<std::int64_t>{5, 4}));
+  EXPECT_EQ(g.probs[1].shape(), (std::vector<std::int64_t>{5, 6}));
+  for (const auto& p : g.probs) {
+    for (std::int64_t r = 0; r < p.dim(0); ++r) {
+      float s = 0.0f;
+      for (std::int64_t c = 0; c < p.dim(1); ++c) {
+        EXPECT_GE(p.at(r, c), 0.0f);
+        s += p.at(r, c);
+      }
+      EXPECT_NEAR(s, 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(Selector, RejectsWrongInputWidth) {
+  ModuleSelector sel(10, 8, {4});
+  Tensor x({2, 9});
+  EXPECT_THROW(sel.forward(x, false), std::runtime_error);
+}
+
+TEST(Selector, BackwardRequiresTrainForward) {
+  ModuleSelector sel(4, 4, {3});
+  std::vector<Tensor> g(1);
+  EXPECT_THROW(sel.backward(g), std::runtime_error);
+}
+
+// Gradient check of the full selector: loss = sum(w ⊙ probs) across layers.
+TEST(Selector, GradientsMatchNumerical) {
+  init::reseed(202);
+  ModuleSelector sel(6, 5, {3, 4});
+  Rng rng(2);
+  Tensor x({4, 6});
+  fill_random(x, rng);
+
+  std::vector<Tensor> w;
+  {
+    GateResult g0 = sel.forward(x, false);
+    for (auto& p : g0.probs) {
+      Tensor wi(p.shape());
+      fill_random(wi, rng);
+      w.push_back(wi);
+    }
+  }
+  auto loss_of = [&]() {
+    GateResult g = sel.forward(x, false);
+    double acc = 0.0;
+    for (std::size_t l = 0; l < g.probs.size(); ++l) {
+      acc += dot(g.probs[l], w[l]);
+    }
+    return acc;
+  };
+
+  // Analytic.
+  for (Param* p : sel.params()) p->grad.zero();
+  GateResult g = sel.forward(x, true);
+  std::vector<Tensor> grad_probs = w;
+  sel.backward(grad_probs);
+
+  const float eps = 1e-2f;
+  Rng pick(3);
+  for (Param* p : sel.params()) {
+    for (int c = 0; c < 4; ++c) {
+      const std::size_t i =
+          pick.uniform_int(static_cast<std::uint64_t>(p->value.numel()));
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = loss_of();
+      p->value[i] = orig - eps;
+      const double lm = loss_of();
+      p->value[i] = orig;
+      const double num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], num, 2e-2 * std::max(1.0, std::fabs(num)));
+    }
+  }
+}
+
+TEST(Selector, KlLogitGradientFlows) {
+  init::reseed(203);
+  ModuleSelector sel(4, 4, {3});
+  Rng rng(4);
+  Tensor x({2, 4});
+  fill_random(x, rng);
+  sel.forward(x, true);
+  std::vector<Tensor> grad_probs(1);  // empty: no prob-space gradient
+  std::vector<Tensor> grad_logits(1);
+  grad_logits[0] = Tensor({2, 3});
+  grad_logits[0].fill(0.1f);
+  sel.backward(grad_probs, grad_logits);
+  float gsum = 0.0f;
+  for (Param* p : sel.params()) gsum += max_abs(p->grad);
+  EXPECT_GT(gsum, 0.0f);
+}
+
+TEST(Selector, StateRoundTrip) {
+  init::reseed(204);
+  ModuleSelector a(6, 5, {4});
+  init::reseed(205);
+  ModuleSelector b(6, 5, {4});
+  Rng rng(5);
+  Tensor x({3, 6});
+  fill_random(x, rng);
+  b.set_state(a.state());
+  GateResult ga = a.forward(x, false);
+  GateResult gb = b.forward(x, false);
+  testutil::expect_tensor_near(ga.probs[0], gb.probs[0]);
+  EXPECT_EQ(a.state_size(), b.state_size());
+  std::vector<float> wrong(3);
+  EXPECT_THROW(b.set_state(wrong), std::runtime_error);
+}
+
+TEST(Selector, ImportanceAveragesProbs) {
+  init::reseed(206);
+  ModuleSelector sel(4, 4, {5});
+  Rng rng(6);
+  Tensor x({10, 4});
+  fill_random(x, rng);
+  auto imp = sel.importance(x);
+  ASSERT_EQ(imp.size(), 1u);
+  ASSERT_EQ(imp[0].size(), 5u);
+  double s = 0.0;
+  for (double v : imp[0]) {
+    EXPECT_GE(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-5);  // mean of distributions is a distribution
+}
+
+TEST(LoadBalance, ZeroForPerfectBalance) {
+  Tensor probs({4, 2});
+  probs.fill(0.5f);
+  EXPECT_NEAR(load_balance_loss(probs, nullptr), 0.0f, 1e-6);
+}
+
+TEST(LoadBalance, PositiveForImbalance) {
+  Tensor probs({2, 2}, {1.0f, 0.0f, 1.0f, 0.0f});
+  // All mass on module 0: CV^2 = N*Q/S^2 - 1 = 2*4/4 - 1 = 1.
+  EXPECT_NEAR(load_balance_loss(probs, nullptr), 1.0f, 1e-6);
+}
+
+TEST(LoadBalance, GradientMatchesNumerical) {
+  Rng rng(7);
+  Tensor probs({3, 4});
+  for (std::int64_t i = 0; i < probs.numel(); ++i) {
+    probs[static_cast<std::size_t>(i)] = rng.uniform(0.05f, 1.0f);
+  }
+  Tensor grad(probs.shape());
+  load_balance_loss(probs, &grad);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < probs.numel(); ++i) {
+    Tensor pp = probs, pm = probs;
+    pp[static_cast<std::size_t>(i)] += eps;
+    pm[static_cast<std::size_t>(i)] -= eps;
+    const float num = (load_balance_loss(pp, nullptr) -
+                       load_balance_loss(pm, nullptr)) /
+                      (2 * eps);
+    EXPECT_NEAR(grad[static_cast<std::size_t>(i)], num, 2e-3);
+  }
+}
+
+TEST(LoadBalance, GradientPushesTowardBalance) {
+  // Heavier module must receive a positive gradient (reducing it lowers CV²).
+  Tensor probs({2, 2}, {0.9f, 0.1f, 0.8f, 0.2f});
+  Tensor grad(probs.shape());
+  load_balance_loss(probs, &grad);
+  EXPECT_GT(grad.at(0, 0), 0.0f);
+  EXPECT_LT(grad.at(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,130 @@
+// Model-zoo structure tests: the properties the resource experiments
+// (Figures 7-9) depend on.
+#include <gtest/gtest.h>
+
+#include "core/derivation.h"
+#include "core/model_zoo.h"
+#include "nn/init.h"
+
+namespace nebula {
+namespace {
+
+TEST(ModelZoo, PaperModuleLayerCounts) {
+  ZooOptions opts;
+  EXPECT_EQ(make_modular_mlp(32, 6, opts).model->num_module_layers(), 1u);
+  EXPECT_EQ(make_modular_resnet18({3, 8, 8}, 10, opts)
+                .model->num_module_layers(),
+            4u);
+  EXPECT_EQ(make_modular_vgg16({3, 8, 8}, 100, opts)
+                .model->num_module_layers(),
+            3u);
+  EXPECT_EQ(make_modular_resnet34({1, 16, 8}, 35, opts)
+                .model->num_module_layers(),
+            3u);
+}
+
+TEST(ModelZoo, DefaultModuleWidthsMatchPaper) {
+  ZooOptions opts;  // defaults
+  auto mlp = make_modular_mlp(32, 6, opts);
+  EXPECT_EQ(mlp.model->full_widths()[0], 16);
+  auto vgg = make_modular_vgg16({3, 8, 8}, 100, opts);
+  for (auto w : vgg.model->full_widths()) EXPECT_EQ(w, 32);
+}
+
+TEST(ModelZoo, VggFcLayerHoldsParameterMass) {
+  // The FC module layer must dominate the conv module layers in parameters —
+  // that is what makes VGG sub-models meaningfully smaller than the original.
+  ZooOptions opts;
+  auto vgg = make_modular_vgg16({3, 8, 8}, 100, opts);
+  auto costs = vgg.model->module_costs();
+  std::int64_t conv_max = 0, fc_max = 0;
+  for (const auto& c : costs[0]) conv_max = std::max(conv_max, c.params);
+  for (const auto& c : costs[2]) fc_max = std::max(fc_max, c.params);
+  EXPECT_GT(fc_max, 3 * conv_max);
+}
+
+TEST(ModelZoo, SubmodelsShrinkMeaningfullyBelowReference) {
+  // At a 0.35 budget the derived sub-model must carry well under the
+  // original-model parameter count (Figures 7-9 depend on this headroom).
+  for (auto which : {TaskModel::kVgg16, TaskModel::kResNet34}) {
+    ZooOptions opts;
+    opts.init_seed = 2001;
+    std::vector<std::int64_t> shape =
+        which == TaskModel::kVgg16 ? std::vector<std::int64_t>{3, 8, 8}
+                                   : std::vector<std::int64_t>{1, 16, 8};
+    const std::int64_t classes = which == TaskModel::kVgg16 ? 100 : 35;
+    auto zm = make_modular(which, shape, classes, opts);
+    SubmodelDerivation der(zm.model->module_costs(), zm.model->shared_cost());
+    DerivationRequest req;
+    req.importance.resize(zm.model->num_module_layers());
+    for (std::size_t l = 0; l < req.importance.size(); ++l) {
+      const std::int64_t n = zm.model->full_widths()[l];
+      req.importance[l].assign(static_cast<std::size_t>(n),
+                               1.0 / static_cast<double>(n));
+    }
+    req.budgets = der.budget_fraction(0.35);
+    auto res = der.derive(req);
+    EXPECT_TRUE(res.within_budget);
+    EXPECT_LT(res.used[0], der.reference_cost()[0] * 0.85)
+        << "sub-model too close to the original model's size";
+  }
+}
+
+TEST(ModelZoo, ModuleFractionCycleProducesDiverseSizes) {
+  ZooOptions opts;
+  opts.modules_per_layer = 11;  // two full fraction cycles + identity
+  auto zm = make_modular_mlp(16, 4, opts);
+  auto costs = zm.model->module_costs();
+  std::int64_t distinct = 0;
+  std::int64_t last = -1;
+  std::vector<std::int64_t> sizes;
+  for (const auto& c : costs[0]) sizes.push_back(c.params);
+  std::sort(sizes.begin(), sizes.end());
+  for (auto s : sizes) {
+    if (s != last) ++distinct;
+    last = s;
+  }
+  EXPECT_GE(distinct, 5);  // 5 fractions + identity ≥ 5 distinct sizes
+}
+
+TEST(ModelZoo, PlainWidthScalingIsNestedPrefix) {
+  // Width-scaled plain models must have pairwise-aligned tensors with
+  // elementwise-smaller shapes (the HeteroFL prefix-sharing contract).
+  for (auto which : {TaskModel::kMlpHar, TaskModel::kResNet18,
+                     TaskModel::kVgg16, TaskModel::kResNet34}) {
+    std::vector<std::int64_t> shape;
+    std::int64_t classes = 0;
+    switch (which) {
+      case TaskModel::kMlpHar: shape = {32}; classes = 6; break;
+      case TaskModel::kResNet18: shape = {3, 8, 8}; classes = 10; break;
+      case TaskModel::kVgg16: shape = {3, 8, 8}; classes = 100; break;
+      case TaskModel::kResNet34: shape = {1, 16, 8}; classes = 35; break;
+    }
+    init::reseed(2002);
+    auto full = make_plain(which, shape, classes, 1.0);
+    init::reseed(2003);
+    auto half = make_plain(which, shape, classes, 0.5);
+    auto fp = full->params();
+    auto hp = half->params();
+    ASSERT_EQ(fp.size(), hp.size());
+    for (std::size_t i = 0; i < fp.size(); ++i) {
+      ASSERT_EQ(fp[i]->value.rank(), hp[i]->value.rank());
+      for (std::size_t d = 0; d < fp[i]->value.rank(); ++d) {
+        EXPECT_LE(hp[i]->value.shape()[d], fp[i]->value.shape()[d]);
+      }
+    }
+  }
+}
+
+TEST(ModelZoo, SelectorWidthsMatchModel) {
+  ZooOptions opts;
+  auto zm = make_modular_resnet18({3, 8, 8}, 10, opts);
+  ASSERT_EQ(zm.selector->num_layers(), zm.model->num_module_layers());
+  for (std::size_t l = 0; l < zm.selector->num_layers(); ++l) {
+    EXPECT_EQ(zm.selector->layer_width(l), zm.model->full_widths()[l]);
+  }
+  EXPECT_EQ(zm.selector->input_dim(), zm.model->flat_input_dim());
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,184 @@
+// NebulaSystem integration tests: the full offline + online pipeline on a
+// small fleet, ledger accounting, ablation switches.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/nebula.h"
+#include "nn/init.h"
+
+namespace nebula {
+namespace {
+
+struct SmallWorld {
+  std::unique_ptr<SyntheticGenerator> gen;
+  std::unique_ptr<EdgePopulation> pop;
+  std::vector<DeviceProfile> profiles;
+  SyntheticData proxy;
+
+  explicit SmallWorld(std::uint64_t seed = 88) {
+    auto spec = har_like_spec();
+    gen = std::make_unique<SyntheticGenerator>(spec, seed);
+    PartitionConfig pc;
+    pc.num_devices = 10;
+    pc.classes_per_device = 0;
+    pc.clusters_per_device = 2;
+    pc.seed = seed + 1;
+    pop = std::make_unique<EdgePopulation>(*gen, pc);
+    ProfileSampler sampler(seed + 2);
+    profiles = sampler.sample_fleet(10);
+    proxy = pop->proxy_data_ex(800);
+  }
+
+  NebulaSystem make_system(NebulaConfig cfg = {}) {
+    ZooOptions opts;
+    opts.modules_per_layer = 6;
+    opts.init_seed = 909;
+    cfg.devices_per_round = 4;
+    cfg.pretrain.epochs = 4;
+    return NebulaSystem(make_modular_mlp(32, 6, opts), *pop, profiles, cfg);
+  }
+};
+
+TEST(NebulaSystem, OfflineProducesAbilityResult) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  auto ability = sys.offline(world.proxy);
+  ASSERT_TRUE(ability.has_value());
+  EXPECT_EQ(ability->target.size(), sys.cloud().num_module_layers());
+}
+
+TEST(NebulaSystem, AbilityCanBeDisabled) {
+  SmallWorld world;
+  NebulaConfig cfg;
+  cfg.enable_ability = false;
+  auto sys = world.make_system(cfg);
+  EXPECT_FALSE(sys.offline(world.proxy).has_value());
+}
+
+TEST(NebulaSystem, RoundTrainsAndAccountsComm) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  const auto participants = sys.round();
+  EXPECT_EQ(participants.size(), 4u);
+  EXPECT_GT(sys.ledger().download_bytes(), 0);
+  EXPECT_GT(sys.ledger().upload_bytes(), 0);
+  // Upload excludes the selector, so it is strictly smaller than download
+  // on the first contact.
+  EXPECT_LT(sys.ledger().upload_bytes(), sys.ledger().download_bytes());
+}
+
+TEST(NebulaSystem, SelectorDownloadedOncePerDevice) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  const SubmodelSpec spec = sys.derive(0).spec;
+  const std::int64_t first = sys.download_bytes(spec, 0);
+  const std::int64_t second = sys.download_bytes(spec, 0);
+  EXPECT_EQ(first - second, sys.selector().state_size() * 4);
+}
+
+TEST(NebulaSystem, DeviceBudgetsTrackCapacity) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      if (world.profiles[a].mem_capacity_mb <
+          world.profiles[b].mem_capacity_mb) {
+        EXPECT_LE(sys.budget_fraction_for(a), sys.budget_fraction_for(b));
+      }
+    }
+  }
+}
+
+TEST(NebulaSystem, DerivedSubmodelsRespectBudgets) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  for (int k = 0; k < 10; ++k) {
+    auto res = sys.derive(k);
+    EXPECT_TRUE(res.within_budget) << "device " << k;
+    for (const auto& layer : res.spec.modules) {
+      EXPECT_GE(layer.size(), 1u);
+    }
+  }
+}
+
+TEST(NebulaSystem, CollaborationImprovesDeviceAccuracy) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  double before = 0.0;
+  for (int k = 0; k < 5; ++k) before += sys.eval_derived(k, 160);
+  for (int r = 0; r < 5; ++r) sys.round();
+  double after = 0.0;
+  for (int k = 0; k < 5; ++k) after += sys.eval_derived(k, 160);
+  EXPECT_GT(after, before - 0.15)
+      << "adaptation must not destroy accuracy: " << before / 5 << " -> "
+      << after / 5;
+  EXPECT_GT(after / 5, 0.6);
+}
+
+TEST(NebulaSystem, AdaptDeviceVariantsMaintainResidentModel) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  EXPECT_EQ(sys.resident_spec(3), nullptr);
+  sys.adapt_device(3, /*query_cloud=*/true, /*local_train=*/false, false);
+  ASSERT_NE(sys.resident_spec(3), nullptr);
+  const std::int64_t dl_after_query = sys.ledger().download_bytes();
+  // Local-only adaptation must not touch the network.
+  sys.adapt_device(3, /*query_cloud=*/false, /*local_train=*/true, false);
+  EXPECT_EQ(sys.ledger().download_bytes(), dl_after_query);
+  const std::int64_t ul_before = sys.ledger().upload_bytes();
+  sys.adapt_device(3, false, true, /*upload=*/true);
+  EXPECT_GT(sys.ledger().upload_bytes(), ul_before);
+}
+
+TEST(NebulaSystem, EvalDeviceUsesResidentModel) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  const float acc = sys.eval_device(2, 160);
+  EXPECT_GT(acc, 0.3f);
+  EXPECT_NE(sys.resident_spec(2), nullptr);  // lazily derived
+}
+
+TEST(NebulaSystem, CheckpointRoundTrip) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  sys.offline(world.proxy);
+  sys.round();
+  const std::string path = std::string(::testing::TempDir()) + "cloud.neb";
+  sys.save_cloud(path);
+
+  SmallWorld world2;
+  auto fresh = world2.make_system();
+  fresh.load_cloud(path);
+  // The restored cloud must produce identical derived sub-model outputs.
+  Dataset test = world.pop->device_test(0, 128);
+  auto spec = sys.derive(0).spec;
+  auto a = sys.build_submodel(spec);
+  auto b = fresh.build_submodel(spec);
+  const float acc_a = evaluate_modular(*a, sys.selector(), test, 2);
+  const float acc_b = evaluate_modular(*b, fresh.selector(), test, 2);
+  EXPECT_FLOAT_EQ(acc_a, acc_b);
+  std::remove(path.c_str());
+  EXPECT_THROW(fresh.load_cloud(path), std::runtime_error);
+}
+
+TEST(NebulaSystem, ProfileCountMismatchThrows) {
+  SmallWorld world;
+  ZooOptions opts;
+  opts.modules_per_layer = 4;
+  NebulaConfig cfg;
+  std::vector<DeviceProfile> wrong(world.profiles.begin(),
+                                   world.profiles.begin() + 3);
+  EXPECT_THROW(NebulaSystem(make_modular_mlp(32, 6, opts), *world.pop, wrong,
+                            cfg),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nebula

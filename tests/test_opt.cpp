@@ -1,0 +1,181 @@
+// Solver tests: multi-dimensional knapsack (Eq. 2) and the sub-task
+// assignment program (Eq. 1), including property tests against exhaustive
+// reference solvers.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "opt/assignment_lp.h"
+#include "opt/knapsack.h"
+
+namespace nebula {
+namespace {
+
+KnapsackItem item(double value, double c0, double c1, double c2) {
+  KnapsackItem it;
+  it.value = value;
+  it.cost = {c0, c1, c2};
+  return it;
+}
+
+TEST(Knapsack, PicksBestWithinBudget) {
+  std::vector<KnapsackItem> items = {
+      item(10, 5, 0, 0), item(6, 3, 0, 0), item(5, 3, 0, 0)};
+  auto res = solve_knapsack(items, {6, 100, 100});
+  // Optimal: items 1+2 (value 11) beats item 0 (value 10).
+  EXPECT_TRUE(res.chosen[1] && res.chosen[2]);
+  EXPECT_FALSE(res.chosen[0]);
+  EXPECT_DOUBLE_EQ(res.value, 11.0);
+}
+
+TEST(Knapsack, ForcedItemsAlwaysIncluded) {
+  std::vector<KnapsackItem> items = {item(0.1, 4, 0, 0), item(9, 4, 0, 0)};
+  auto res = solve_knapsack(items, {4, 10, 10}, {0});
+  EXPECT_TRUE(res.chosen[0]);
+  EXPECT_FALSE(res.chosen[1]);  // no room left
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(Knapsack, InfeasibleForcedSetFlagged) {
+  std::vector<KnapsackItem> items = {item(1, 10, 0, 0)};
+  auto res = solve_knapsack(items, {5, 5, 5}, {0});
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(Knapsack, RespectsAllThreeDimensions) {
+  std::vector<KnapsackItem> items = {
+      item(5, 1, 10, 1), item(5, 1, 1, 10), item(5, 10, 1, 1),
+      item(4, 1, 1, 1)};
+  auto res = solve_knapsack(items, {3, 3, 3});
+  // Only the balanced item fits together with nothing else exceeding dims.
+  EXPECT_TRUE(res.chosen[3]);
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    EXPECT_LE(res.used[j], 3.0 + 1e-9);
+  }
+}
+
+TEST(Knapsack, EmptyItemsOk) {
+  auto res = solve_knapsack({}, {1, 1, 1});
+  EXPECT_TRUE(res.chosen.empty());
+  EXPECT_DOUBLE_EQ(res.value, 0.0);
+}
+
+TEST(Knapsack, ExactSolverSmokes) {
+  std::vector<KnapsackItem> items = {
+      item(10, 5, 0, 0), item(6, 3, 0, 0), item(5, 3, 0, 0)};
+  auto res = solve_knapsack_exact(items, {6, 10, 10});
+  EXPECT_DOUBLE_EQ(res.value, 11.0);
+}
+
+// Property sweep: greedy + swap must reach >= 85% of the exact optimum and
+// never violate budgets.
+class KnapsackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackProperty, GreedyNearOptimalAndFeasible) {
+  Rng rng(1000 + GetParam());
+  const std::size_t n = 4 + rng.uniform_int(9);  // 4..12 items
+  std::vector<KnapsackItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(item(rng.uniform(0.1f, 1.0f), rng.uniform(0.1f, 1.0f),
+                         rng.uniform(0.1f, 1.0f), rng.uniform(0.1f, 1.0f)));
+  }
+  std::array<double, kResourceDims> budgets = {
+      rng.uniform(0.8f, 2.5f), rng.uniform(0.8f, 2.5f),
+      rng.uniform(0.8f, 2.5f)};
+  auto greedy = solve_knapsack(items, budgets);
+  auto exact = solve_knapsack_exact(items, budgets);
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    EXPECT_LE(greedy.used[j], budgets[j] + 1e-9);
+  }
+  EXPECT_GE(greedy.value, 0.85 * exact.value - 1e-9)
+      << "greedy " << greedy.value << " vs exact " << exact.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackProperty,
+                         ::testing::Range(0, 25));
+
+AssignmentProblem make_problem(std::int64_t t, std::int64_t n,
+                               std::vector<double> h, std::int64_t k1,
+                               std::int64_t k2) {
+  AssignmentProblem p;
+  p.num_subtasks = t;
+  p.num_modules = n;
+  p.h = std::move(h);
+  p.kappa1 = k1;
+  p.kappa2 = k2;
+  return p;
+}
+
+TEST(Assignment, PrefersHighWeights) {
+  // 2 sub-tasks x 3 modules; each sub-task may keep 1 module.
+  auto p = make_problem(2, 3,
+                        {0.7, 0.2, 0.1,
+                         0.1, 0.1, 0.8},
+                        1, 1);
+  auto res = solve_assignment(p);
+  EXPECT_TRUE(res.get(0, 0, 3));
+  EXPECT_TRUE(res.get(1, 2, 3));
+  EXPECT_NEAR(res.objective, 1.5, 1e-9);
+}
+
+TEST(Assignment, EverySubtaskCovered) {
+  Rng rng(31);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::int64_t t = 2 + rng.uniform_int(3), n = 3 + rng.uniform_int(4);
+    std::vector<double> h(static_cast<std::size_t>(t * n));
+    for (auto& v : h) v = rng.uniform();
+    auto p = make_problem(t, n, h, 2, 2);
+    auto res = solve_assignment(p);
+    for (std::int64_t tt = 0; tt < t; ++tt) {
+      std::int64_t row = 0;
+      for (std::int64_t nn = 0; nn < n; ++nn) row += res.get(tt, nn, n);
+      EXPECT_GE(row, 1) << "sub-task " << tt << " uncovered";
+      EXPECT_LE(row, p.kappa2);
+    }
+  }
+}
+
+TEST(Assignment, ModuleLoadRespectedWhenFeasible) {
+  // 3 sub-tasks, 3 modules, kappa1 = 1: a perfect matching exists.
+  auto p = make_problem(3, 3,
+                        {0.9, 0.1, 0.1,
+                         0.1, 0.9, 0.1,
+                         0.1, 0.1, 0.9},
+                        1, 1);
+  auto res = solve_assignment(p);
+  for (std::int64_t n = 0; n < 3; ++n) {
+    std::int64_t col = 0;
+    for (std::int64_t t = 0; t < 3; ++t) col += res.get(t, n, 3);
+    EXPECT_LE(col, 1);
+  }
+  EXPECT_NEAR(res.objective, 2.7, 1e-9);
+}
+
+class AssignmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentProperty, GreedyNearExact) {
+  Rng rng(500 + GetParam());
+  const std::int64_t t = 2 + static_cast<std::int64_t>(rng.uniform_int(2));
+  const std::int64_t n = 3 + static_cast<std::int64_t>(rng.uniform_int(3));
+  if (t * n > 20) GTEST_SKIP();
+  std::vector<double> h(static_cast<std::size_t>(t * n));
+  for (auto& v : h) v = rng.uniform();
+  auto p = make_problem(t, n, h, 2, 2);
+  auto greedy = solve_assignment(p);
+  auto exact = solve_assignment_exact(p);
+  EXPECT_GE(greedy.objective, 0.85 * exact.objective - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, AssignmentProperty,
+                         ::testing::Range(0, 20));
+
+TEST(Assignment, InvalidInputsThrow) {
+  EXPECT_THROW(solve_assignment(make_problem(0, 3, {}, 1, 1)),
+               std::runtime_error);
+  EXPECT_THROW(solve_assignment(make_problem(2, 2, {1, 2, 3}, 1, 1)),
+               std::runtime_error);
+  EXPECT_THROW(solve_assignment(make_problem(1, 1, {1}, 0, 1)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nebula

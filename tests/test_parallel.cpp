@@ -1,0 +1,93 @@
+// Thread pool and parallel_for tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace nebula {
+namespace {
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.size(), 4u);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ChunkedPartitionIsDisjointAndComplete) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_chunked(
+      0, 1000,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+      },
+      8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainForcesSerialForSmallLoops) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum += static_cast<long>(i); },
+                    /*grain=*/100);
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SumMatchesSerialReference) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::atomic<long long> parallel_sum{0};
+  pool.parallel_for_chunked(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        long long local = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          local += static_cast<long long>(data[i]);
+        }
+        parallel_sum += local;
+      },
+      64);
+  EXPECT_EQ(parallel_sum.load(),
+            static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 37, [&](std::size_t) { count++; });
+    ASSERT_EQ(count.load(), 37);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolAvailable) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+  std::atomic<int> count{0};
+  parallel_for(0, 10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace nebula

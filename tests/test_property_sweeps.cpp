@@ -1,0 +1,196 @@
+// Parameterized property sweeps (TEST_P):
+//  * Conv2d gradient checks across kernel/stride/pad/channel configurations.
+//  * ModuleLayer routing equivalence against a dense reference computation
+//    across (module count, top-k, batch) configurations.
+//  * Knapsack feasibility across budget scales.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/module_layer.h"
+#include "nn/conv.h"
+#include "nn/init.h"
+#include "nn/layers_basic.h"
+#include "opt/knapsack.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace nebula {
+namespace {
+
+using testutil::fill_random;
+
+// ---- Conv2d configuration sweep ------------------------------------------------
+
+struct ConvCase {
+  int in_c, out_c, kernel, stride, pad, h, w;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, GradientsMatchNumerical) {
+  const ConvCase c = GetParam();
+  init::reseed(4000 + c.in_c * 100 + c.kernel * 10 + c.stride);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad);
+  Rng rng(7);
+  Tensor x({2, c.in_c, c.h, c.w});
+  fill_random(x, rng);
+  testutil::check_layer_gradients(conv, x);
+}
+
+TEST_P(ConvSweep, OutShapeMatchesForwardShape) {
+  const ConvCase c = GetParam();
+  init::reseed(4100 + c.out_c);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad);
+  Tensor x({3, c.in_c, c.h, c.w});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), conv.out_shape(x.shape()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 4, 4},
+                      ConvCase{2, 3, 3, 1, 1, 5, 5},
+                      ConvCase{3, 2, 3, 2, 1, 6, 6},
+                      ConvCase{1, 4, 5, 1, 2, 7, 7},
+                      ConvCase{4, 4, 3, 2, 0, 8, 8},
+                      ConvCase{2, 2, 2, 2, 0, 6, 4}));
+
+// ---- ModuleLayer routing equivalence --------------------------------------------
+
+// With top_k == number of modules and no noise, the routed output must equal
+// the dense gate-weighted sum of all module outputs (renormalised weights).
+struct RouteCase {
+  int n_modules, top_k, batch;
+};
+
+class RoutingSweep : public ::testing::TestWithParam<RouteCase> {};
+
+TEST_P(RoutingSweep, MatchesDenseReferenceWhenAllActive) {
+  const RouteCase rc = GetParam();
+  if (rc.top_k < rc.n_modules) GTEST_SKIP();
+  init::reseed(4200 + rc.n_modules);
+  std::vector<LayerPtr> mods;
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < rc.n_modules; ++i) {
+    mods.push_back(std::make_unique<Linear>(3, 3, /*bias=*/false));
+    ids.push_back(i);
+  }
+  // Keep raw pointers for the reference computation.
+  std::vector<Linear*> raw;
+  for (auto& m : mods) raw.push_back(static_cast<Linear*>(m.get()));
+  ModuleLayer layer(std::move(mods), ids, rc.n_modules);
+
+  Rng rng(11);
+  Tensor x({rc.batch, 3});
+  fill_random(x, rng);
+  Tensor gates({rc.batch, rc.n_modules});
+  for (std::int64_t i = 0; i < gates.numel(); ++i) {
+    gates[static_cast<std::size_t>(i)] = rng.uniform(0.05f, 1.0f);
+  }
+  RoutingOpts opts;
+  opts.top_k = rc.top_k;
+  Tensor y = layer.forward(x, gates, opts, false);
+
+  // Dense reference: y_b = sum_i (g_bi / sum_j g_bj) W_i x_b.
+  for (std::int64_t b = 0; b < rc.batch; ++b) {
+    float mass = 0.0f;
+    for (int i = 0; i < rc.n_modules; ++i) mass += gates.at(b, i);
+    std::vector<float> expect(3, 0.0f);
+    Tensor xb({1, 3}, {x.at(b, 0), x.at(b, 1), x.at(b, 2)});
+    for (int i = 0; i < rc.n_modules; ++i) {
+      Tensor yi = raw[i]->forward(xb, false);
+      const float w = gates.at(b, i) / mass;
+      for (int d = 0; d < 3; ++d) expect[static_cast<std::size_t>(d)] += w * yi[static_cast<std::size_t>(d)];
+    }
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(y.at(b, d), expect[static_cast<std::size_t>(d)], 1e-4)
+          << "sample " << b << " dim " << d;
+    }
+  }
+}
+
+TEST_P(RoutingSweep, TopKActivatesExactlyKPerSample) {
+  const RouteCase rc = GetParam();
+  init::reseed(4300 + rc.top_k);
+  std::vector<LayerPtr> mods;
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < rc.n_modules; ++i) {
+    mods.push_back(std::make_unique<Linear>(3, 3, false));
+    ids.push_back(i);
+  }
+  ModuleLayer layer(std::move(mods), ids, rc.n_modules);
+  Rng rng(12);
+  Tensor x({rc.batch, 3});
+  fill_random(x, rng);
+  Tensor gates({rc.batch, rc.n_modules});
+  for (std::int64_t i = 0; i < gates.numel(); ++i) {
+    gates[static_cast<std::size_t>(i)] = rng.uniform(0.05f, 1.0f);
+  }
+  RoutingOpts opts;
+  opts.top_k = rc.top_k;
+  // Train-mode forward + backward: the gate gradient is non-zero exactly on
+  // the activated entries, so count them.
+  Tensor y = layer.forward(x, gates, opts, true);
+  Tensor w(y.shape());
+  fill_random(w, rng);
+  for (Param* p : layer.params()) p->grad.zero();
+  layer.backward(w);
+  const Tensor& ggrad = layer.gate_grad();
+  const int expected_k = std::min(rc.top_k, rc.n_modules);
+  if (expected_k == 1) {
+    // With a single activated module the renormalised weight is identically
+    // 1, so the gate Jacobian is exactly zero — nothing to count.
+    for (std::int64_t i = 0; i < ggrad.numel(); ++i) {
+      EXPECT_EQ(ggrad[static_cast<std::size_t>(i)], 0.0f);
+    }
+    return;
+  }
+  for (std::int64_t b = 0; b < rc.batch; ++b) {
+    int active = 0;
+    for (int i = 0; i < rc.n_modules; ++i) {
+      if (ggrad.at(b, i) != 0.0f) ++active;
+    }
+    EXPECT_EQ(active, expected_k) << "sample " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RoutingSweep,
+    ::testing::Values(RouteCase{2, 2, 1}, RouteCase{4, 4, 3},
+                      RouteCase{4, 2, 5}, RouteCase{6, 3, 4},
+                      RouteCase{8, 8, 2}, RouteCase{5, 1, 6}));
+
+// ---- Knapsack budget-scale sweep -------------------------------------------------
+
+class KnapsackBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KnapsackBudgetSweep, SolutionAlwaysFeasibleAndMonotone) {
+  const double budget_scale = GetParam();
+  Rng rng(5000);
+  std::vector<KnapsackItem> items(24);
+  for (auto& it : items) {
+    it.value = rng.uniform(0.1f, 1.0f);
+    it.cost = {rng.uniform(0.1f, 0.5f), rng.uniform(0.1f, 0.5f),
+               rng.uniform(0.1f, 0.5f)};
+  }
+  std::array<double, kResourceDims> budgets = {budget_scale, budget_scale,
+                                               budget_scale};
+  auto res = solve_knapsack(items, budgets);
+  for (std::size_t j = 0; j < kResourceDims; ++j) {
+    EXPECT_LE(res.used[j], budgets[j] + 1e-9);
+  }
+  // Doubling the budget can only improve the objective.
+  std::array<double, kResourceDims> doubled = {2 * budget_scale,
+                                               2 * budget_scale,
+                                               2 * budget_scale};
+  auto res2 = solve_knapsack(items, doubled);
+  EXPECT_GE(res2.value, res.value - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, KnapsackBudgetSweep,
+                         ::testing::Values(0.3, 0.6, 1.2, 2.4, 4.8));
+
+}  // namespace
+}  // namespace nebula
