@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_continuous.dir/bench_fig10_continuous.cpp.o"
+  "CMakeFiles/bench_fig10_continuous.dir/bench_fig10_continuous.cpp.o.d"
+  "bench_fig10_continuous"
+  "bench_fig10_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_runtime_scaling.dir/runtime_scaling.cpp.o"
+  "CMakeFiles/example_runtime_scaling.dir/runtime_scaling.cpp.o.d"
+  "example_runtime_scaling"
+  "example_runtime_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_runtime_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

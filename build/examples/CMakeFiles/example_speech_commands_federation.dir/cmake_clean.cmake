@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speech_commands_federation.dir/speech_commands_federation.cpp.o"
+  "CMakeFiles/example_speech_commands_federation.dir/speech_commands_federation.cpp.o.d"
+  "example_speech_commands_federation"
+  "example_speech_commands_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speech_commands_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

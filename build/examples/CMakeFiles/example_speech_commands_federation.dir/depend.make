@@ -1,0 +1,2 @@
+# Empty dependencies file for example_speech_commands_federation.
+# This may be replaced when dependencies are built.

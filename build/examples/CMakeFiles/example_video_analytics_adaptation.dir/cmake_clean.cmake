@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_analytics_adaptation.dir/video_analytics_adaptation.cpp.o"
+  "CMakeFiles/example_video_analytics_adaptation.dir/video_analytics_adaptation.cpp.o.d"
+  "example_video_analytics_adaptation"
+  "example_video_analytics_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_analytics_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_video_analytics_adaptation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fedavg.cpp" "src/CMakeFiles/nebula.dir/baselines/fedavg.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/baselines/fedavg.cpp.o.d"
+  "/root/repo/src/baselines/heterofl.cpp" "src/CMakeFiles/nebula.dir/baselines/heterofl.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/baselines/heterofl.cpp.o.d"
+  "/root/repo/src/baselines/nested.cpp" "src/CMakeFiles/nebula.dir/baselines/nested.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/baselines/nested.cpp.o.d"
+  "/root/repo/src/baselines/onbaselines.cpp" "src/CMakeFiles/nebula.dir/baselines/onbaselines.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/baselines/onbaselines.cpp.o.d"
+  "/root/repo/src/core/ability.cpp" "src/CMakeFiles/nebula.dir/core/ability.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/ability.cpp.o.d"
+  "/root/repo/src/core/aggregation.cpp" "src/CMakeFiles/nebula.dir/core/aggregation.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/aggregation.cpp.o.d"
+  "/root/repo/src/core/derivation.cpp" "src/CMakeFiles/nebula.dir/core/derivation.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/derivation.cpp.o.d"
+  "/root/repo/src/core/edge_runtime.cpp" "src/CMakeFiles/nebula.dir/core/edge_runtime.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/edge_runtime.cpp.o.d"
+  "/root/repo/src/core/gating.cpp" "src/CMakeFiles/nebula.dir/core/gating.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/gating.cpp.o.d"
+  "/root/repo/src/core/model_zoo.cpp" "src/CMakeFiles/nebula.dir/core/model_zoo.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/model_zoo.cpp.o.d"
+  "/root/repo/src/core/modular_model.cpp" "src/CMakeFiles/nebula.dir/core/modular_model.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/modular_model.cpp.o.d"
+  "/root/repo/src/core/module_layer.cpp" "src/CMakeFiles/nebula.dir/core/module_layer.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/module_layer.cpp.o.d"
+  "/root/repo/src/core/nebula.cpp" "src/CMakeFiles/nebula.dir/core/nebula.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/nebula.cpp.o.d"
+  "/root/repo/src/core/train.cpp" "src/CMakeFiles/nebula.dir/core/train.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/core/train.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/nebula.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/nebula.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/eval/experiments.cpp" "src/CMakeFiles/nebula.dir/eval/experiments.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/eval/experiments.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/nebula.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/nebula.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/nebula.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/layers_basic.cpp" "src/CMakeFiles/nebula.dir/nn/layers_basic.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/layers_basic.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/nebula.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/nebula.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/nebula.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/nebula.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/state.cpp" "src/CMakeFiles/nebula.dir/nn/state.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/state.cpp.o.d"
+  "/root/repo/src/opt/assignment_lp.cpp" "src/CMakeFiles/nebula.dir/opt/assignment_lp.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/opt/assignment_lp.cpp.o.d"
+  "/root/repo/src/opt/knapsack.cpp" "src/CMakeFiles/nebula.dir/opt/knapsack.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/opt/knapsack.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/nebula.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/nebula.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/nebula.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/sim/device.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/nebula.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/tensor/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

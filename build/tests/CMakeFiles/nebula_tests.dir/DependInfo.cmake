@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ability_guidance.cpp" "tests/CMakeFiles/nebula_tests.dir/test_ability_guidance.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_ability_guidance.cpp.o.d"
+  "/root/repo/tests/test_aggregation.cpp" "tests/CMakeFiles/nebula_tests.dir/test_aggregation.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_aggregation.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/nebula_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/nebula_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/nebula_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_derivation.cpp" "tests/CMakeFiles/nebula_tests.dir/test_derivation.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_derivation.cpp.o.d"
+  "/root/repo/tests/test_edge_runtime.cpp" "tests/CMakeFiles/nebula_tests.dir/test_edge_runtime.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_edge_runtime.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/nebula_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_gating.cpp" "tests/CMakeFiles/nebula_tests.dir/test_gating.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_gating.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/nebula_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_loss_optim.cpp" "tests/CMakeFiles/nebula_tests.dir/test_loss_optim.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_loss_optim.cpp.o.d"
+  "/root/repo/tests/test_model_zoo.cpp" "tests/CMakeFiles/nebula_tests.dir/test_model_zoo.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_model_zoo.cpp.o.d"
+  "/root/repo/tests/test_modular_model.cpp" "tests/CMakeFiles/nebula_tests.dir/test_modular_model.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_modular_model.cpp.o.d"
+  "/root/repo/tests/test_module_layer.cpp" "tests/CMakeFiles/nebula_tests.dir/test_module_layer.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_module_layer.cpp.o.d"
+  "/root/repo/tests/test_nebula_system.cpp" "tests/CMakeFiles/nebula_tests.dir/test_nebula_system.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_nebula_system.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/nebula_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/nebula_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/nebula_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/nebula_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_serialize_metrics.cpp" "tests/CMakeFiles/nebula_tests.dir/test_serialize_metrics.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_serialize_metrics.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/nebula_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/nebula_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_train.cpp" "tests/CMakeFiles/nebula_tests.dir/test_train.cpp.o" "gcc" "tests/CMakeFiles/nebula_tests.dir/test_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nebula.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
