@@ -32,6 +32,38 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmTN(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(10);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[static_cast<std::size_t>(i)] = rng.normal();
+    b[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    matmul_tn_acc(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(11);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[static_cast<std::size_t>(i)] = rng.normal();
+    b[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    matmul_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256);
+
 void BM_ConvForward(benchmark::State& state) {
   init::reseed(2);
   Conv2d conv(8, 8, 3, 1, 1);

@@ -1,8 +1,12 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "nn/init.h"
+#include "parallel/thread_pool.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace nebula {
@@ -36,26 +40,36 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   }
   const std::int64_t col_rows = in_c_ * k_ * k_;
   const std::int64_t col_cols = oh * ow;
+  const std::int64_t in_vol = in_c_ * h * w;
   Tensor y({n, out_c_, oh, ow});
-  Tensor col({col_rows, col_cols});
-  Tensor out_mat({out_c_, col_cols});
-  for (std::int64_t i = 0; i < n; ++i) {
-    im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_,
-           col.data());
-    matmul(w_.value, col, out_mat);
-    float* yi = y.data() + i * out_c_ * col_cols;
-    const float* om = out_mat.data();
-    if (has_bias_) {
-      const float* bd = b_.value.data();
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        for (std::int64_t p = 0; p < col_cols; ++p) {
-          yi[c * col_cols + p] = om[c * col_cols + p] + bd[c];
+  ThreadPool& pool = ThreadPool::global();
+  const float* xd = x.data();
+  const float* wd = w_.value.data();
+  const float* bd = has_bias_ ? b_.value.data() : nullptr;
+  float* yd = y.data();
+  // Parallel over the batch; each participant lowers into its own persistent
+  // im2col scratch and runs the per-sample GEMM straight into the output
+  // slice (GEMMs inside the region run inline on the owning worker).
+  pool.parallel_for_chunked(
+      0, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
+        float* col = pool.scratch_floats(
+            ThreadPool::kScratchConvCol,
+            static_cast<std::size_t>(col_rows * col_cols));
+        for (std::size_t s = lo; s < hi; ++s) {
+          const std::int64_t i = static_cast<std::int64_t>(s);
+          im2col(xd + i * in_vol, in_c_, h, w, k_, k_, stride_, pad_, col);
+          float* yi = yd + i * out_c_ * col_cols;
+          gemm(Trans::N, Trans::N, out_c_, col_cols, col_rows, wd, col_rows,
+               col, col_cols, yi, col_cols, /*accumulate=*/false);
+          if (has_bias_) {
+            for (std::int64_t c = 0; c < out_c_; ++c) {
+              float* yc = yi + c * col_cols;
+              const float bc = bd[c];
+              for (std::int64_t p = 0; p < col_cols; ++p) yc[p] += bc;
+            }
+          }
         }
-      }
-    } else {
-      std::copy(om, om + out_c_ * col_cols, yi);
-    }
-  }
+      });
   return y;
 }
 
@@ -72,53 +86,59 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                grad_out.dim(3) == ow);
 
   Tensor dx(in_shape_);
-  Tensor col({col_rows, col_cols});
-  Tensor dcol({col_rows, col_cols});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* gy = grad_out.data() + i * out_c_ * col_cols;
-    // dW += gy(out_c, P) * col(rows, P)^T
-    im2col(cached_input_.data() + i * in_c_ * h * w, in_c_, h, w, k_, k_,
-           stride_, pad_, col.data());
-    {
-      float* gw = w_.grad.data();
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        const float* gyc = gy + c * col_cols;
-        float* gwc = gw + c * col_rows;
-        for (std::int64_t r = 0; r < col_rows; ++r) {
-          const float* cr = col.data() + r * col_cols;
-          float acc = 0.0f;
-          for (std::int64_t p = 0; p < col_cols; ++p) acc += gyc[p] * cr[p];
-          gwc[r] += acc;
+  const std::int64_t in_vol = in_c_ * h * w;
+  ThreadPool& pool = ThreadPool::global();
+  const float* xd = cached_input_.data();
+  const float* gyd = grad_out.data();
+  const float* wd = w_.value.data();
+  float* dxd = dx.data();
+  std::mutex grad_mu;  // serialises the per-chunk reduction into w_/b_ grads
+  // Parallel over the batch. dx slices are disjoint per sample; dW/db are
+  // accumulated into per-worker partials and reduced under a mutex at the end
+  // of each chunk. Both matrix products are GEMM calls — there are no
+  // hand-rolled matrix loops left in this layer.
+  pool.parallel_for_chunked(
+      0, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
+        const std::size_t col_sz =
+            static_cast<std::size_t>(col_rows * col_cols);
+        float* col = pool.scratch_floats(ThreadPool::kScratchConvCol, col_sz);
+        float* dcol = pool.scratch_floats(ThreadPool::kScratchConvGrad, col_sz);
+        float* part = pool.scratch_floats(
+            ThreadPool::kScratchConvMat,
+            static_cast<std::size_t>(out_c_ * col_rows + out_c_));
+        float* dw_part = part;
+        float* db_part = part + out_c_ * col_rows;
+        std::fill(part, part + out_c_ * col_rows + out_c_, 0.0f);
+        for (std::size_t s = lo; s < hi; ++s) {
+          const std::int64_t i = static_cast<std::int64_t>(s);
+          const float* gy = gyd + i * out_c_ * col_cols;
+          im2col(xd + i * in_vol, in_c_, h, w, k_, k_, stride_, pad_, col);
+          // dW(out_c, rows) += gy(out_c, P) * col(rows, P)^T
+          gemm(Trans::N, Trans::T, out_c_, col_rows, col_cols, gy, col_cols,
+               col, col_cols, dw_part, col_rows, /*accumulate=*/true);
+          if (has_bias_) {
+            for (std::int64_t c = 0; c < out_c_; ++c) {
+              const float* gyc = gy + c * col_cols;
+              float acc = 0.0f;
+              for (std::int64_t p = 0; p < col_cols; ++p) acc += gyc[p];
+              db_part[c] += acc;
+            }
+          }
+          // dcol(rows, P) = W(out_c, rows)^T * gy(out_c, P)
+          gemm(Trans::T, Trans::N, col_rows, col_cols, out_c_, wd, col_rows,
+               gy, col_cols, dcol, col_cols, /*accumulate=*/false);
+          col2im(dcol, in_c_, h, w, k_, k_, stride_, pad_, dxd + i * in_vol);
         }
-      }
-    }
-    if (has_bias_) {
-      float* gb = b_.grad.data();
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        const float* gyc = gy + c * col_cols;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < col_cols; ++p) acc += gyc[p];
-        gb[c] += acc;
-      }
-    }
-    // dcol = W^T(rows, out_c) * gy(out_c, P)
-    {
-      float* dc = dcol.data();
-      const float* wd = w_.value.data();
-      for (std::int64_t r = 0; r < col_rows; ++r) {
-        float* dcr = dc + r * col_cols;
-        std::fill(dcr, dcr + col_cols, 0.0f);
-        for (std::int64_t c = 0; c < out_c_; ++c) {
-          const float wrc = wd[c * col_rows + r];
-          if (wrc == 0.0f) continue;
-          const float* gyc = gy + c * col_cols;
-          for (std::int64_t p = 0; p < col_cols; ++p) dcr[p] += wrc * gyc[p];
+        std::lock_guard<std::mutex> lock(grad_mu);
+        float* gw = w_.grad.data();
+        for (std::int64_t r = 0; r < out_c_ * col_rows; ++r) {
+          gw[r] += dw_part[r];
         }
-      }
-    }
-    col2im(dcol.data(), in_c_, h, w, k_, k_, stride_, pad_,
-           dx.data() + i * in_c_ * h * w);
-  }
+        if (has_bias_) {
+          float* gb = b_.grad.data();
+          for (std::int64_t c = 0; c < out_c_; ++c) gb[c] += db_part[c];
+        }
+      });
   return dx;
 }
 

@@ -1,16 +1,29 @@
 #include "parallel/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
 
 namespace nebula {
+
+namespace {
+
+// Identifies which pool (if any) owns the current thread, and its index
+// within that pool. Caller threads keep the defaults (nullptr, 0).
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+ThreadPool* g_global_override = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  scratch_.resize(num_threads);
   // The caller thread always participates, so spawn n-1 workers.
+  workers_.reserve(num_threads - 1);
   for (std::size_t i = 0; i + 1 < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -24,78 +37,118 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::global() {
+  if (g_global_override != nullptr) return *g_global_override;
   static ThreadPool pool;
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+ThreadPool* ThreadPool::set_global(ThreadPool* pool) {
+  ThreadPool* prev = g_global_override;
+  g_global_override = pool;
+  return prev;
+}
+
+std::size_t ThreadPool::current_worker_index() { return tls_index; }
+
+float* ThreadPool::scratch_floats(std::size_t slot, std::size_t min_floats) {
+  // Threads that are not workers of this pool (index out of range) share
+  // slot row 0 with the canonical caller thread; inside a parallel region of
+  // this pool all participants have distinct in-range indices.
+  std::size_t w = tls_pool == this ? tls_index : 0;
+  if (w >= scratch_.size()) w = 0;
+  std::vector<float>& buf = scratch_[w].slots[slot % kScratchSlots];
+  if (buf.size() < min_floats) buf.resize(min_floats);
+  return buf.data();
+}
+
+void ThreadPool::run_chunks() {
+  const std::size_t nchunks = job_nchunks_;
   for (;;) {
-    Task task;
+    const std::size_t c = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= nchunks) break;
+    const std::size_t lo = job_begin_ + c * job_chunk_;
+    const std::size_t hi = std::min(job_end_, lo + job_chunk_);
+    if (lo < hi) job_fn_(job_ctx_, lo, hi);
+    job_completed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
+  std::uint64_t seen = 0;
+  for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [&] { return stop_ || (job_active_ && job_seq_ != seen); });
+      if (stop_) return;
+      seen = job_seq_;
+      ++job_workers_;
     }
-    task.fn();
+    run_chunks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job_workers_;
+    }
+    done_cv_.notify_all();
   }
 }
 
-void ThreadPool::submit(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(Task{std::move(fn)});
-  }
-  cv_.notify_one();
-}
-
-void ThreadPool::parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t grain) {
+void ThreadPool::parallel_run(std::size_t begin, std::size_t end, RangeFn fn,
+                              void* ctx, std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t threads = size();
-  if (threads == 1 || n <= grain) {
-    body(begin, end);
+  if (grain == 0) grain = 1;
+  // Serial fast paths: 1-thread pool, tiny range, or a nested call from one
+  // of this pool's own workers (re-entering the job machinery would deadlock;
+  // inline execution keeps nested kernels correct and cheap).
+  if (size() == 1 || n <= grain || tls_pool == this) {
+    fn(ctx, begin, end);
     return;
   }
-  // Static chunking: one chunk per participant, rounded to the grain.
-  std::size_t chunks = std::min(threads, (n + grain - 1) / grain);
+
+  // Static partition: at most one chunk per participant, rounded to grain.
+  const std::size_t chunks =
+      std::min(size(), (n + grain - 1) / grain);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::atomic<std::size_t> remaining{chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
 
-  auto run_chunk = [&](std::size_t c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    if (lo < hi) body(lo, hi);
-    if (remaining.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(done_mu);
-      done_cv.notify_one();
-    }
-  };
+  std::unique_lock<std::mutex> lock(mu_);
+  // One job at a time: a second caller thread queues here until the previous
+  // region fully drains.
+  done_cv_.wait(lock, [&] { return !job_active_ && job_workers_ == 0; });
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_begin_ = begin;
+  job_end_ = end;
+  job_chunk_ = chunk_size;
+  job_nchunks_ = chunks;
+  job_next_.store(0, std::memory_order_relaxed);
+  job_completed_.store(0, std::memory_order_relaxed);
+  job_active_ = true;
+  ++job_seq_;
+  lock.unlock();
+  cv_.notify_all();
 
-  for (std::size_t c = 1; c < chunks; ++c) {
-    submit([&, c] { run_chunk(c); });
-  }
-  run_chunk(0);  // caller thread takes the first chunk
+  // The caller participates as worker 0. Marking it as in-pool for the
+  // duration makes nested parallel calls from its chunks run inline (exactly
+  // as they do on real workers) instead of deadlocking on the job slot, and
+  // gives its scratch lookups the worker-0 row.
+  ThreadPool* prev_pool = tls_pool;
+  const std::size_t prev_index = tls_index;
+  tls_pool = this;
+  tls_index = 0;
+  run_chunks();
+  tls_pool = prev_pool;
+  tls_index = prev_index;
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-}
-
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body,
-                              std::size_t grain) {
-  parallel_for_chunked(
-      begin, end,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
-      },
-      grain);
+  lock.lock();
+  done_cv_.wait(lock, [&] {
+    return job_completed_.load(std::memory_order_acquire) == job_nchunks_ &&
+           job_workers_ == 0;
+  });
+  job_active_ = false;
+  lock.unlock();
+  done_cv_.notify_all();  // release any caller queued for the job slot
 }
 
 }  // namespace nebula

@@ -4,12 +4,28 @@
 // an OpenMP `parallel for` with static chunking. All heavy kernels (GEMM,
 // convolution, per-device simulation) funnel through this so that thread
 // count is controlled in exactly one place (`ThreadPool::global()`).
+//
+// Design notes:
+//  * A parallel region is a single "range job" published to the workers: the
+//    chunk partition is computed statically up front and workers claim chunks
+//    through one atomic counter. No per-chunk `std::function` (or any other
+//    per-chunk heap allocation) is ever created — the callable is passed as a
+//    raw function pointer + context pointer.
+//  * The caller thread always participates, so a 1-thread pool degenerates to
+//    a serial loop with no synchronisation on the hot path.
+//  * Nested parallelism from inside a worker of the *same* pool runs inline
+//    (serially) — this is what lets Conv2d parallelise over the batch while
+//    its per-sample GEMMs still call into the same kernels.
+//  * Each pool owns a per-worker scratch arena (`scratch_floats`), keyed by
+//    `current_worker_index()`. Buffers are grow-only and persist across
+//    parallel regions, so hot kernels (im2col, GEMM packing) reuse memory
+//    instead of allocating per call.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -18,6 +34,21 @@ namespace nebula {
 
 class ThreadPool {
  public:
+  /// Raw chunk callable: fn(ctx, lo, hi) processes iterations [lo, hi).
+  using RangeFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+  /// Well-known scratch slots. Slots 0-1 are reserved by the GEMM packing
+  /// engine; layers pick from the remaining ones. Two kernels may only share
+  /// a slot if they can never be live on the same worker at the same time.
+  enum ScratchSlot : std::size_t {
+    kScratchGemmA = 0,
+    kScratchGemmB = 1,
+    kScratchConvCol = 2,
+    kScratchConvMat = 3,
+    kScratchConvGrad = 4,
+    kScratchSlots = 6,
+  };
+
   /// Creates `num_threads` workers. 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
@@ -25,46 +56,94 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Process-wide pool, created on first use.
+  /// Process-wide pool, created on first use. Tests may swap it out with
+  /// `set_global` to run kernels under pools of specific sizes.
   static ThreadPool& global();
+
+  /// Replaces the pool returned by `global()`. Pass nullptr to restore the
+  /// default process-wide pool. Returns the previous override (or nullptr).
+  /// Intended for tests; not thread-safe against concurrent `global()` users.
+  static ThreadPool* set_global(ThreadPool* pool);
 
   std::size_t size() const { return workers_.size() + 1; }  // +1: caller thread
 
-  /// Runs body(i) for i in [begin, end). Blocks until all iterations finish.
-  /// The caller thread participates, so a 1-thread pool degenerates to a
-  /// serial loop with no synchronisation overhead on the hot path.
-  ///
-  /// `grain` is the minimum number of iterations per task; loops smaller than
-  /// one grain run inline.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body,
+  /// Index of the calling thread within this pool: workers are 1..size()-1,
+  /// every other thread (including the caller of a parallel region) is 0.
+  /// Inside a parallel region the participating threads therefore have
+  /// distinct indices, which is what makes `scratch_floats` race-free there.
+  static std::size_t current_worker_index();
+
+  /// Grow-only per-worker scratch buffer of at least `min_floats` floats,
+  /// keyed by (current_worker_index(), slot). The pointer stays valid until a
+  /// larger request hits the same (worker, slot) pair. Contents persist
+  /// across calls — callers must not assume zero-initialisation.
+  float* scratch_floats(std::size_t slot, std::size_t min_floats);
+
+  /// Runs fn(ctx, lo, hi) over a static chunking of [begin, end). Blocks
+  /// until all chunks finish. `grain` is the minimum chunk width; ranges no
+  /// wider than one grain (and nested calls from this pool's own workers)
+  /// run inline on the calling thread.
+  void parallel_run(std::size_t begin, std::size_t end, RangeFn fn, void* ctx,
                     std::size_t grain = 1);
 
   /// Runs body(chunk_begin, chunk_end) over contiguous chunks — preferred for
-  /// kernels that can amortise per-call overhead across a range.
-  void parallel_for_chunked(
-      std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t)>& body,
-      std::size_t grain = 1);
+  /// kernels that can amortise per-call overhead across a range. The callable
+  /// is passed by reference through `parallel_run`; nothing is heap-allocated.
+  template <typename F>
+  void parallel_for_chunked(std::size_t begin, std::size_t end, const F& body,
+                            std::size_t grain = 1) {
+    parallel_run(
+        begin, end,
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          (*static_cast<const F*>(ctx))(lo, hi);
+        },
+        const_cast<void*>(static_cast<const void*>(&body)), grain);
+  }
+
+  /// Runs body(i) for i in [begin, end). Blocks until all iterations finish.
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, const F& body,
+                    std::size_t grain = 1) {
+    parallel_for_chunked(
+        begin, end,
+        [&body](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        },
+        grain);
+  }
 
  private:
-  struct Task {
-    std::function<void()> fn;
-  };
-
-  void worker_loop();
-  void submit(std::function<void()> fn);
+  void worker_loop(std::size_t index);
+  void run_chunks();
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
+
+  // Scratch arena: fixed-size outer vector (one entry per participant, caller
+  // included), so per-worker rows have stable addresses.
+  struct WorkerScratch {
+    std::vector<float> slots[kScratchSlots];
+  };
+  std::vector<WorkerScratch> scratch_;
+
+  // One range job at a time, published through pool members (no heap).
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // wakes workers for a new job / shutdown
+  std::condition_variable done_cv_;  // wakes callers waiting for completion
   bool stop_ = false;
+  bool job_active_ = false;          // guarded by mu_
+  std::uint64_t job_seq_ = 0;        // guarded by mu_
+  std::size_t job_workers_ = 0;      // workers currently inside the job
+  RangeFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_begin_ = 0, job_end_ = 0;
+  std::size_t job_chunk_ = 0, job_nchunks_ = 0;
+  std::atomic<std::size_t> job_next_{0};
+  std::atomic<std::size_t> job_completed_{0};
 };
 
 /// Convenience free function over the global pool.
-inline void parallel_for(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t)>& body,
+template <typename F>
+inline void parallel_for(std::size_t begin, std::size_t end, const F& body,
                          std::size_t grain = 1) {
   ThreadPool::global().parallel_for(begin, end, body, grain);
 }

@@ -1,0 +1,292 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "parallel/thread_pool.h"
+
+#define NEBULA_RESTRICT __restrict__
+
+namespace nebula {
+
+namespace {
+
+// Register micro-tile. MR*NR accumulators must fit the baseline x86-64
+// register file (16 xmm): 6 rows * 8 cols = 12 vector accumulators of width
+// 4, leaving room for the A broadcast and the two B loads.
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 8;
+
+// Cache blocking. KC*NR B sub-panel (~8 KB) lives in L1 across the ip sweep,
+// the MC*KC A block (~96 KB) in L2, the KC*NC packed B panel (~512 KB) in
+// L2/L3. All multiples chosen so edge handling happens only in packing/store.
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kMC = 96;   // multiple of kMR
+constexpr std::int64_t kNC = 512;  // multiple of kNR
+
+// Problems below this many multiply-adds skip packing entirely: for tiny
+// per-sample GEMMs (selector gates, small heads) the O(mk + kn) pack traffic
+// is a measurable fraction of the O(mnk) compute.
+constexpr std::int64_t kNaiveFlopThreshold = 8192;
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// ---- Packing ---------------------------------------------------------------
+//
+// A block rows [i0, i0+mc) x cols [p0, p0+kc) of op(A) is laid out as
+// ceil(mc/MR) panels; panel q holds rows [q*MR, q*MR+MR) column-major within
+// the panel: dst[q*kc*MR + p*MR + r]. Rows past mc are zero-padded so the
+// micro-kernel always computes a full MR x NR tile and only the C store needs
+// edge masking. B is packed symmetrically into NR-column panels.
+
+void pack_a(Trans ta, const float* a, std::int64_t lda, std::int64_t i0,
+            std::int64_t p0, std::int64_t mc, std::int64_t kc, float* dst) {
+  for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+    const std::int64_t rows = std::min(kMR, mc - ip);
+    if (ta == Trans::N) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* src = a + (i0 + ip + r) * lda + p0;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = src[p];
+      }
+    } else {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + i0 + ip;
+        for (std::int64_t r = 0; r < rows; ++r) dst[p * kMR + r] = src[r];
+      }
+    }
+    if (rows < kMR) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        for (std::int64_t r = rows; r < kMR; ++r) dst[p * kMR + r] = 0.0f;
+      }
+    }
+    dst += kc * kMR;
+  }
+}
+
+void pack_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t p0,
+            std::int64_t j0, std::int64_t kc, std::int64_t nc, float* dst) {
+  for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+    const std::int64_t cols = std::min(kNR, nc - jp);
+    if (tb == Trans::N) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + j0 + jp;
+        float* d = dst + p * kNR;
+        for (std::int64_t j = 0; j < cols; ++j) d[j] = src[j];
+        for (std::int64_t j = cols; j < kNR; ++j) d[j] = 0.0f;
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float* src = b + (j0 + jp + j) * ldb + p0;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kNR + j] = src[p];
+      }
+      for (std::int64_t p = 0; p < kc && cols < kNR; ++p) {
+        for (std::int64_t j = cols; j < kNR; ++j) dst[p * kNR + j] = 0.0f;
+      }
+    }
+    dst += kc * kNR;
+  }
+}
+
+// ---- Micro-kernel ----------------------------------------------------------
+//
+// C[0:mr, 0:nr] (+)= Ap(kc x MR panel) * Bp(kc x NR panel). The 6x8 tile is
+// held in twelve explicit 4-wide vector accumulators for the entire K loop —
+// written with GCC/Clang vector extensions (no intrinsics headers), which
+// lower to SSE2 on baseline x86-64, NEON on aarch64, and pick up FMA/AVX
+// under NEBULA_NATIVE. A plain float array here spills to the stack and runs
+// ~1.5x *slower* than the naive kernel; the explicit registers are the point.
+
+typedef float v4f __attribute__((vector_size(16)));
+// Same lanes, alignment 4: loads/stores through this type emit unaligned ops.
+typedef float v4f_u __attribute__((vector_size(16), aligned(4)));
+
+inline v4f load4(const float* p) {
+  return *reinterpret_cast<const v4f_u*>(p);
+}
+inline void store4(float* p, v4f v) { *reinterpret_cast<v4f_u*>(p) = v; }
+inline v4f splat4(float x) { return v4f{x, x, x, x}; }
+
+void micro_kernel(std::int64_t kc, const float* NEBULA_RESTRICT ap,
+                  const float* NEBULA_RESTRICT bp, float* NEBULA_RESTRICT c,
+                  std::int64_t ldc, bool accumulate, std::int64_t mr,
+                  std::int64_t nr) {
+  v4f c00 = {}, c01 = {}, c10 = {}, c11 = {}, c20 = {}, c21 = {};
+  v4f c30 = {}, c31 = {}, c40 = {}, c41 = {}, c50 = {}, c51 = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const v4f b0 = load4(bp);
+    const v4f b1 = load4(bp + 4);
+    v4f a;
+    a = splat4(ap[0]); c00 += a * b0; c01 += a * b1;
+    a = splat4(ap[1]); c10 += a * b0; c11 += a * b1;
+    a = splat4(ap[2]); c20 += a * b0; c21 += a * b1;
+    a = splat4(ap[3]); c30 += a * b0; c31 += a * b1;
+    a = splat4(ap[4]); c40 += a * b0; c41 += a * b1;
+    a = splat4(ap[5]); c50 += a * b0; c51 += a * b1;
+    ap += kMR;
+    bp += kNR;
+  }
+  if (mr == kMR && nr == kNR) {
+    float* c0 = c;
+    float* c1 = c + ldc;
+    float* c2 = c + 2 * ldc;
+    float* c3 = c + 3 * ldc;
+    float* c4 = c + 4 * ldc;
+    float* c5 = c + 5 * ldc;
+    if (accumulate) {
+      store4(c0, load4(c0) + c00); store4(c0 + 4, load4(c0 + 4) + c01);
+      store4(c1, load4(c1) + c10); store4(c1 + 4, load4(c1 + 4) + c11);
+      store4(c2, load4(c2) + c20); store4(c2 + 4, load4(c2 + 4) + c21);
+      store4(c3, load4(c3) + c30); store4(c3 + 4, load4(c3 + 4) + c31);
+      store4(c4, load4(c4) + c40); store4(c4 + 4, load4(c4 + 4) + c41);
+      store4(c5, load4(c5) + c50); store4(c5 + 4, load4(c5 + 4) + c51);
+    } else {
+      store4(c0, c00); store4(c0 + 4, c01);
+      store4(c1, c10); store4(c1 + 4, c11);
+      store4(c2, c20); store4(c2 + 4, c21);
+      store4(c3, c30); store4(c3 + 4, c31);
+      store4(c4, c40); store4(c4 + 4, c41);
+      store4(c5, c50); store4(c5 + 4, c51);
+    }
+  } else {
+    // Edge tile: spill the full tile once, then mask the store.
+    float tile[kMR * kNR];
+    store4(tile + 0, c00);  store4(tile + 4, c01);
+    store4(tile + 8, c10);  store4(tile + 12, c11);
+    store4(tile + 16, c20); store4(tile + 20, c21);
+    store4(tile + 24, c30); store4(tile + 28, c31);
+    store4(tile + 32, c40); store4(tile + 36, c41);
+    store4(tile + 40, c50); store4(tile + 44, c51);
+    for (std::int64_t i = 0; i < mr; ++i) {
+      float* ci = c + i * ldc;
+      const float* ti = tile + i * kNR;
+      if (accumulate) {
+        for (std::int64_t j = 0; j < nr; ++j) ci[j] += ti[j];
+      } else {
+        for (std::int64_t j = 0; j < nr; ++j) ci[j] = ti[j];
+      }
+    }
+  }
+}
+
+// ---- Naive small-problem path ----------------------------------------------
+
+void gemm_naive(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, const float* a, std::int64_t lda,
+                const float* b, std::int64_t ldb, float* c, std::int64_t ldc,
+                bool accumulate) {
+  if (!accumulate) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  }
+  if (ta == Trans::N && tb == Trans::N) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * lda;
+      float* ci = c + i * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        if (av == 0.0f) continue;
+        const float* bp = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+  } else if (ta == Trans::N && tb == Trans::T) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * lda;
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * ldb;
+        float s = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+        ci[j] += s;
+      }
+    }
+  } else if (ta == Trans::T && tb == Trans::N) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* ap = a + p * lda;
+      const float* bp = b + p * ldb;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float av = ap[i];
+        if (av == 0.0f) continue;
+        float* ci = c + i * ldc;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+  } else {  // T, T
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * ldb;
+        float s = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) s += a[p * lda + i] * bj[p];
+        ci[j] += s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float* c, std::int64_t ldc, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+      }
+    }
+    return;
+  }
+  if (m * n * k <= kNaiveFlopThreshold) {
+    gemm_naive(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+  for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::int64_t nc = std::min(kNC, n - j0);
+    const std::int64_t nc_pad = ceil_div(nc, kNR) * kNR;
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+      const std::int64_t kc = std::min(kKC, k - p0);
+      const bool acc_pass = accumulate || p0 > 0;
+      // The B panel is packed once by the calling thread and read (not
+      // written) by every participant of the row-block sweep below.
+      float* bpack = pool.scratch_floats(
+          ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
+      pack_b(tb, b, ldb, p0, j0, kc, nc, bpack);
+
+      const std::size_t nblocks =
+          static_cast<std::size_t>(ceil_div(m, kMC));
+      pool.parallel_for_chunked(
+          0, nblocks,
+          [&](std::size_t blo, std::size_t bhi) {
+            float* apack = pool.scratch_floats(
+                ThreadPool::kScratchGemmA,
+                static_cast<std::size_t>(kMC * kc));
+            for (std::size_t blk = blo; blk < bhi; ++blk) {
+              const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMC;
+              const std::int64_t mc = std::min(kMC, m - i0);
+              pack_a(ta, a, lda, i0, p0, mc, kc, apack);
+              for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+                const std::int64_t nr = std::min(kNR, nc - jp);
+                const float* bp = bpack + (jp / kNR) * kc * kNR;
+                for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+                  const std::int64_t mr = std::min(kMR, mc - ip);
+                  const float* ap = apack + (ip / kMR) * kc * kMR;
+                  micro_kernel(kc, ap, bp,
+                               c + (i0 + ip) * ldc + j0 + jp, ldc, acc_pass,
+                               mr, nr);
+                }
+              }
+            }
+          },
+          1);
+    }
+  }
+}
+
+}  // namespace nebula

@@ -1,0 +1,29 @@
+// Single-precision GEMM engine: cache-blocked, panel-packed, register-tiled.
+//
+// Every matrix-shaped kernel in the library (Linear forward/backward, Conv2d
+// im2col forward and both backward products) routes through `gemm`, so there
+// is exactly one micro-kernel to optimise and benchmark. The Tensor-level
+// wrappers in tensor/ops.h add shape checking; layers with raw sub-batch
+// pointers (Conv2d) call this interface directly.
+//
+// Layout: all operands are row-major with explicit leading dimensions, BLAS
+// style. op(A) is (m, k), op(B) is (k, n), C is (m, n):
+//
+//   C = op(A) · op(B)            (accumulate == false)
+//   C += op(A) · op(B)           (accumulate == true)
+//
+// See DESIGN.md "Kernel architecture & threading model" for the blocking
+// scheme (MC/KC/NC, MR×NR micro-tile) and where the pack buffers live.
+#pragma once
+
+#include <cstdint>
+
+namespace nebula {
+
+enum class Trans : std::uint8_t { N, T };
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float* c, std::int64_t ldc, bool accumulate);
+
+}  // namespace nebula

@@ -4,41 +4,22 @@
 #include <cmath>
 #include <limits>
 
-#include "parallel/thread_pool.h"
-
 namespace nebula {
 
 namespace {
-
-// Rows-of-A below this threshold run serially; the parallel dispatch has a
-// fixed cost that small per-sample GEMMs should not pay.
-constexpr std::int64_t kParallelRowThreshold = 64;
 
 void check_matmul_shapes(const Tensor& a, const Tensor& b, const Tensor& c,
                          std::int64_t m, std::int64_t k, std::int64_t n) {
   NEBULA_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
                    "matmul expects rank-2 tensors");
   NEBULA_CHECK_MSG(a.dim(0) == m && a.dim(1) == k, "A shape mismatch");
-  NEBULA_CHECK_MSG(b.numel() == k * n || b.numel() == n * k,
-                   "B volume mismatch");
+  // Require the exact (k, n) layout. A volume-only check would silently
+  // accept a transposed B whenever k != n, producing garbage results.
+  NEBULA_CHECK_MSG(b.dim(0) == k && b.dim(1) == n,
+                   "B shape mismatch: expected [" << k << ", " << n
+                                                  << "], got "
+                                                  << b.shape_str());
   NEBULA_CHECK_MSG(c.dim(0) == m && c.dim(1) == n, "C shape mismatch");
-}
-
-// Inner kernel: C[r0:r1) = A[r0:r1) * B, straightforward ikj loop which
-// vectorises well and keeps B rows hot in cache.
-void gemm_rows(const float* a, const float* b, float* c, std::int64_t r0,
-               std::int64_t r1, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    float* ci = c + i * n;
-    std::fill(ci, ci + n, 0.0f);
-    const float* ai = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      const float* bp = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
 }
 
 }  // namespace
@@ -49,18 +30,8 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
                                       << a.shape_str() << " x "
                                       << b.shape_str());
   check_matmul_shapes(a, b, c, m, k, n);
-  if (m < kParallelRowThreshold) {
-    gemm_rows(a.data(), b.data(), c.data(), 0, m, k, n);
-    return;
-  }
-  ThreadPool::global().parallel_for_chunked(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t lo, std::size_t hi) {
-        gemm_rows(a.data(), b.data(), c.data(),
-                  static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi),
-                  k, n);
-      },
-      16);
+  gemm(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n, c.data(), n,
+       /*accumulate=*/false);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -74,19 +45,17 @@ void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   NEBULA_CHECK_MSG(b.dim(0) == m, "matmul_tn_acc M mismatch");
   NEBULA_CHECK_MSG(c.dim(0) == k && c.dim(1) == n, "matmul_tn_acc C mismatch");
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = ad + i * k;
-    const float* bi = bd + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      float* cp = cd + p * n;
-      for (std::int64_t j = 0; j < n; ++j) cp[j] += aip * bi[j];
-    }
-  }
+  gemm(Trans::T, Trans::N, k, n, m, a.data(), k, b.data(), n, c.data(), n,
+       /*accumulate=*/true);
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  // C(K,N) = A(M,K)^T * B(M,N)
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  NEBULA_CHECK_MSG(b.dim(0) == m, "matmul_tn M mismatch");
+  NEBULA_CHECK_MSG(c.dim(0) == k && c.dim(1) == n, "matmul_tn C mismatch");
+  gemm(Trans::T, Trans::N, k, n, m, a.data(), k, b.data(), n, c.data(), n,
+       /*accumulate=*/false);
 }
 
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -94,31 +63,17 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   NEBULA_CHECK_MSG(b.dim(1) == k, "matmul_nt K mismatch");
   NEBULA_CHECK_MSG(c.dim(0) == m && c.dim(1) == n, "matmul_nt C mismatch");
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  auto rows = [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      const float* ai = ad + i * k;
-      float* ci = cd + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* bj = bd + j * k;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] = acc;
-      }
-    }
-  };
-  if (m < kParallelRowThreshold) {
-    rows(0, m);
-    return;
-  }
-  ThreadPool::global().parallel_for_chunked(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t lo, std::size_t hi) {
-        rows(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi));
-      },
-      16);
+  gemm(Trans::N, Trans::T, m, n, k, a.data(), k, b.data(), k, c.data(), n,
+       /*accumulate=*/false);
+}
+
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  // C(M,N) += A(M,K) * B(N,K)^T
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  NEBULA_CHECK_MSG(b.dim(1) == k, "matmul_nt_acc K mismatch");
+  NEBULA_CHECK_MSG(c.dim(0) == m && c.dim(1) == n, "matmul_nt_acc C mismatch");
+  gemm(Trans::N, Trans::T, m, n, k, a.data(), k, b.data(), k, c.data(), n,
+       /*accumulate=*/true);
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {

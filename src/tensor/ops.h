@@ -1,12 +1,15 @@
 // Tensor kernels: GEMM, elementwise arithmetic, reductions, softmax, top-k,
 // and the im2col/col2im pair used by Conv2d.
 //
-// Kernels above a size threshold run on the global thread pool.
+// All matrix products are thin shape-checked wrappers over the blocked,
+// packed engine in tensor/gemm.h; kernels above a size threshold run on the
+// global thread pool.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace nebula {
@@ -23,9 +26,15 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 /// Used for weight gradients (x^T * dy).
 void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c);
 
+/// C(K,N) = A(M,K)^T * B(M,N), overwriting C. Used for dcol = W^T * dy.
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
 /// C = A(M,K) * B(N,K)^T  -> (M,N). Used for input gradients (dy * W^T with
 /// W stored (K,N) as (in,out)): here B rows index N.
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C(M,N) += A(M,K) * B(N,K)^T. Used for conv weight gradients dW += dy*col^T.
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c);
 
 // ---- Elementwise -----------------------------------------------------------
 

@@ -1,0 +1,209 @@
+// Serial-vs-parallel equivalence properties for the blocked GEMM engine and
+// Conv2d, plus shape-check regressions.
+//
+// Every GEMM variant and the conv forward/backward path are run under a
+// 1-thread pool and an N-thread pool (swapped in via ThreadPool::set_global)
+// over randomized odd shapes / strides / pads, and compared against a plain
+// double-accumulation reference. The partition must not change the result
+// beyond float re-association noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/conv.h"
+#include "parallel/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace nebula {
+namespace {
+
+// Swaps the global pool for the duration of a scope.
+class ScopedPool {
+ public:
+  explicit ScopedPool(std::size_t threads) : pool_(threads) {
+    prev_ = ThreadPool::set_global(&pool_);
+  }
+  ~ScopedPool() { ThreadPool::set_global(prev_); }
+
+ private:
+  ThreadPool pool_;
+  ThreadPool* prev_;
+};
+
+void fill_random(Tensor& t, Rng& rng) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[static_cast<std::size_t>(i)] = rng.normal();
+  }
+}
+
+// C = A(M,K)·B(K,N) in double precision (the ground truth for all variants).
+Tensor reference_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t({a.dim(1), a.dim(0)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < a.dim(1); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+void expect_close(const Tensor& got, const Tensor& want, float tol,
+                  const char* what) {
+  ASSERT_EQ(got.numel(), want.numel()) << what;
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const float g = got[static_cast<std::size_t>(i)];
+    const float w = want[static_cast<std::size_t>(i)];
+    ASSERT_NEAR(g, w, tol * (1.0f + std::fabs(w))) << what << " at " << i;
+  }
+}
+
+// Odd, deliberately non-multiple-of-tile sizes so every pack/store edge path
+// is exercised; includes sizes straddling the naive/packed threshold and the
+// KC/MC/NC block boundaries.
+std::int64_t odd_dim(Rng& rng) {
+  static const std::int64_t sizes[] = {1, 3, 5, 7, 9, 13, 17, 31, 65, 97, 129};
+  return sizes[rng.uniform_int(sizeof(sizes) / sizeof(sizes[0]))];
+}
+
+TEST(GemmEquivalence, AllVariantsSerialVsParallelRandomShapes) {
+  Rng rng(20240805);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::int64_t m = odd_dim(rng), k = odd_dim(rng), n = odd_dim(rng);
+    Tensor a({m, k}), b({k, n}), c0({m, n});
+    fill_random(a, rng);
+    fill_random(b, rng);
+    fill_random(c0, rng);  // initial C for the accumulate variants
+    const Tensor ab = reference_matmul(a, b);
+    const Tensor at = transpose(a);
+    const Tensor bt = transpose(b);
+    const float tol =
+        1e-4f * std::sqrt(static_cast<float>(std::max<std::int64_t>(
+                    {m, k, n})));
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ScopedPool scope(threads);
+      SCOPED_TRACE(testing::Message() << "threads=" << threads << " m=" << m
+                                      << " k=" << k << " n=" << n);
+
+      Tensor c({m, n});
+      matmul(a, b, c);
+      expect_close(c, ab, tol, "matmul");
+
+      // matmul_tn_acc: C(K',N) += A'(M',K')^T·B'(M',N) with A' = at^T = a...
+      // use A'=at (shape (k,m) -> transposed product = a·b) so the reference
+      // is the same ab plus the initial C.
+      Tensor cacc = c0;
+      matmul_tn_acc(at, b, cacc);
+      Tensor want_acc = ab;
+      add_inplace(want_acc, c0);
+      expect_close(cacc, want_acc, tol, "matmul_tn_acc");
+
+      Tensor ctn({m, n});
+      matmul_tn(at, b, ctn);
+      expect_close(ctn, ab, tol, "matmul_tn");
+
+      Tensor cnt({m, n});
+      matmul_nt(a, bt, cnt);
+      expect_close(cnt, ab, tol, "matmul_nt");
+
+      Tensor cnt_acc = c0;
+      matmul_nt_acc(a, bt, cnt_acc);
+      expect_close(cnt_acc, want_acc, tol, "matmul_nt_acc");
+    }
+  }
+}
+
+TEST(GemmEquivalence, LargeSquareCrossesAllBlockBoundaries) {
+  // 300 > MC (96), NC not hit, K > KC (256): exercises the multi-pass
+  // K-accumulation and parallel row-block sweep together.
+  Rng rng(7);
+  const std::int64_t s = 300;
+  Tensor a({s, s}), b({s, s});
+  fill_random(a, rng);
+  fill_random(b, rng);
+  Tensor serial({s, s}), parallel({s, s});
+  {
+    ScopedPool scope(1);
+    matmul(a, b, serial);
+  }
+  {
+    ScopedPool scope(4);
+    matmul(a, b, parallel);
+  }
+  expect_close(parallel, serial, 1e-5f, "matmul 300x300");
+}
+
+TEST(MatmulShapeCheck, RejectsTransposedB) {
+  // Regression: a (n, k) B with k != n has the right volume but the wrong
+  // layout; the volume-only check used to leave this class of bug to the
+  // inner-dimension check alone. It must throw, never compute.
+  Tensor a({4, 6}), b_t({9, 6}), c({4, 9});
+  EXPECT_THROW(matmul(a, b_t, c), std::runtime_error);
+  Tensor flat({54, 1});  // right volume, wrong rank-2 layout
+  EXPECT_THROW(matmul(a, flat, c), std::runtime_error);
+}
+
+struct ConvCase {
+  std::int64_t in_c, out_c, h, w, k, stride, pad, batch;
+};
+
+TEST(ConvEquivalence, ForwardBackwardSerialVsParallel) {
+  const ConvCase cases[] = {
+      {3, 5, 9, 9, 3, 1, 1, 5},   // odd channels, pad
+      {1, 7, 11, 7, 3, 2, 0, 3},  // stride 2, rectangular
+      {5, 3, 7, 13, 5, 2, 2, 4},  // 5x5 kernel, stride+pad
+      {2, 4, 8, 8, 1, 1, 0, 7},   // 1x1 kernel, odd batch
+  };
+  Rng rng(99);
+  for (const auto& cc : cases) {
+    SCOPED_TRACE(testing::Message()
+                 << "conv in_c=" << cc.in_c << " out_c=" << cc.out_c
+                 << " h=" << cc.h << " w=" << cc.w << " k=" << cc.k
+                 << " stride=" << cc.stride << " pad=" << cc.pad);
+    Conv2d conv(cc.in_c, cc.out_c, cc.k, cc.stride, cc.pad);
+    Tensor x({cc.batch, cc.in_c, cc.h, cc.w});
+    fill_random(x, rng);
+    const auto os = conv.out_shape(x.shape());
+    Tensor gy(os);
+    fill_random(gy, rng);
+
+    Tensor y1, dx1, dw1, db1;
+    {
+      ScopedPool scope(1);
+      conv.zero_grad();
+      y1 = conv.forward(x, true);
+      dx1 = conv.backward(gy);
+      dw1 = conv.params()[0]->grad;
+      db1 = conv.params()[1]->grad;
+    }
+    {
+      ScopedPool scope(4);
+      conv.zero_grad();
+      Tensor y4 = conv.forward(x, true);
+      Tensor dx4 = conv.backward(gy);
+      const float tol = 1e-4f;
+      expect_close(y4, y1, tol, "conv forward");
+      expect_close(dx4, dx1, tol, "conv dx");
+      expect_close(conv.params()[0]->grad, dw1, tol, "conv dW");
+      expect_close(conv.params()[1]->grad, db1, tol, "conv db");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,8 +1,12 @@
 // Thread pool and parallel_for tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -87,6 +91,79 @@ TEST(ThreadPool, GlobalPoolAvailable) {
   std::atomic<int> count{0};
   parallel_for(0, 10, [&](std::size_t) { count++; });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel region launched from inside a chunk of the same pool must run
+  // inline (the GEMM-inside-Conv2d pattern) instead of deadlocking on the
+  // single job slot.
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_chunked(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 10, [&](std::size_t) { inner_total++; });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, ScratchIsDistinctPerParticipant) {
+  // One participant may process several chunks (and must then see the same
+  // buffer each time), but two different participants must never share one.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::map<std::size_t, std::set<float*>> by_worker;
+  pool.parallel_for_chunked(
+      0, 64,
+      [&](std::size_t, std::size_t) {
+        float* buf = pool.scratch_floats(ThreadPool::kScratchConvCol, 128);
+        std::lock_guard<std::mutex> lock(mu);
+        by_worker[ThreadPool::current_worker_index()].insert(buf);
+      },
+      1);
+  ASSERT_FALSE(by_worker.empty());
+  std::set<float*> all;
+  for (const auto& [index, bufs] : by_worker) {
+    EXPECT_EQ(bufs.size(), 1u) << "worker " << index
+                               << " saw multiple scratch buffers";
+    all.insert(bufs.begin(), bufs.end());
+  }
+  EXPECT_EQ(all.size(), by_worker.size());
+}
+
+TEST(ThreadPool, ScratchPersistsAndGrows) {
+  ThreadPool pool(1);
+  float* a = pool.scratch_floats(ThreadPool::kScratchConvMat, 16);
+  a[3] = 42.0f;
+  float* b = pool.scratch_floats(ThreadPool::kScratchConvMat, 16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b[3], 42.0f);
+  float* c = pool.scratch_floats(ThreadPool::kScratchConvMat, 1 << 16);
+  for (std::size_t i = 0; i < (1u << 16); ++i) c[i] = 1.0f;  // must be usable
+}
+
+TEST(ThreadPool, SetGlobalOverridesAndRestores) {
+  ThreadPool mine(2);
+  ThreadPool* prev = ThreadPool::set_global(&mine);
+  EXPECT_EQ(&ThreadPool::global(), &mine);
+  ThreadPool::set_global(prev);
+  EXPECT_NE(&ThreadPool::global(), &mine);
+}
+
+TEST(ThreadPool, ManyConsecutiveRegionsStress) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::atomic<long> sum{0};
+    pool.parallel_for_chunked(
+        0, 257,
+        [&](std::size_t lo, std::size_t hi) {
+          long local = 0;
+          for (std::size_t i = lo; i < hi; ++i) local += static_cast<long>(i);
+          sum += local;
+        },
+        1);
+    ASSERT_EQ(sum.load(), 257L * 256 / 2);
+  }
 }
 
 }  // namespace
