@@ -154,7 +154,7 @@ int main() {
           if (acc / s.eval_devices >= target) fa_done = true;
         }
         if (!neb_done) {
-          auto participants = sys.round();
+          auto participants = sys.round().participants;
           double worst = 0.0;
           for (auto k : participants) {
             const auto& p = env.profiles[static_cast<std::size_t>(k)];

@@ -40,10 +40,10 @@ int main() {
 
   // 3. Online collaborative adaptation.
   for (int round = 0; round < 5; ++round) {
-    auto participants = nebula.round();
+    RoundReport report = nebula.round();
     std::printf("round %d: %zu devices participated, %.2f MB transferred so "
                 "far\n",
-                round, participants.size(), nebula.ledger().total_mb());
+                round, report.participants.size(), nebula.ledger().total_mb());
   }
 
   // 4. Personalized sub-model for device 0.

@@ -15,6 +15,7 @@ void FedAvg::pretrain(const Dataset& proxy, const TrainConfig& cfg) {
 }
 
 std::vector<std::int64_t> FedAvg::round() {
+  const std::int64_t round_idx = round_index_++;
   const std::int64_t n = pop_.num_devices();
   const std::int64_t m = std::min(cfg_.devices_per_round, n);
   auto pick = rng_.choose(static_cast<std::size_t>(n),
@@ -29,15 +30,29 @@ std::vector<std::int64_t> FedAvg::round() {
   for (std::size_t i = 0; i < pick.size(); ++i) {
     const std::int64_t k = static_cast<std::int64_t>(pick[i]);
     participants.push_back(k);
+    const DeviceFate fate =
+        faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
+    if (fate.dropped) continue;
     ledger_.record_download(bytes);
     auto local = global_->clone();
     TrainConfig cfg = cfg_.local;
     cfg.seed = rng_.next_u64();
     train_plain(*local, pop_.local_data(k), cfg);
+    if (fate.crashes_before_upload) continue;
     ledger_.record_upload(bytes);
-    states.push_back(get_state(*local));
+    std::vector<float> state = get_state(*local);
+    if (fate.corruption != CorruptionKind::kNone &&
+        fate.corruption != CorruptionKind::kTruncate) {
+      // FedAvg ships one flat state vector, so a truncated payload would be
+      // unloadable; NaN/zero damage is averaged straight into the global
+      // model — no server-side validation exists in the baseline.
+      Rng crng = faults_->payload_rng(round_idx, k);
+      FaultInjector::corrupt_payload(state, fate.corruption, crng);
+    }
+    states.push_back(std::move(state));
     weights.push_back(static_cast<double>(pop_.local_data(k).size()));
   }
+  if (states.empty()) return participants;
 
   double wsum = 0.0;
   for (double w : weights) wsum += w;

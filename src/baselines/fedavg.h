@@ -11,6 +11,7 @@
 #include "core/train.h"
 #include "data/partition.h"
 #include "sim/cost_model.h"
+#include "sim/faults.h"
 
 namespace nebula {
 
@@ -38,6 +39,13 @@ class FedAvg {
   /// Accuracy of the global model on device k's current task.
   float eval_device(std::int64_t k, std::int64_t test_n = 256);
 
+  /// Subjects rounds to the same fault schedule Nebula faces — but FedAvg
+  /// has no fault-tolerant protocol: dropped devices are simply missing and
+  /// corrupted uploads are averaged in unvalidated (the paper-baseline
+  /// contrast for the fault-sweep experiment). Non-owning; pass nullptr to
+  /// detach.
+  void set_fault_injector(const FaultInjector* faults) { faults_ = faults; }
+
   Layer& global() { return *global_; }
   CommLedger& ledger() { return ledger_; }
 
@@ -47,6 +55,8 @@ class FedAvg {
   FedAvgConfig cfg_;
   CommLedger ledger_;
   Rng rng_;
+  const FaultInjector* faults_ = nullptr;
+  std::int64_t round_index_ = 0;
 };
 
 }  // namespace nebula

@@ -1,8 +1,82 @@
 #include "core/aggregation.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace nebula {
+
+namespace {
+
+bool all_finite(const std::vector<float>& v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool rms_within(const std::vector<float>& v, double bound) {
+  if (bound <= 0.0 || v.empty()) return true;
+  double ss = 0.0;
+  for (float x : v) ss += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(ss / static_cast<double>(v.size())) <= bound;
+}
+
+}  // namespace
+
+const char* update_verdict_name(UpdateVerdict v) {
+  switch (v) {
+    case UpdateVerdict::kOk: return "ok";
+    case UpdateVerdict::kLayerCountMismatch: return "layer-count-mismatch";
+    case UpdateVerdict::kStateSizeMismatch: return "state-size-mismatch";
+    case UpdateVerdict::kNonFinite: return "non-finite";
+    case UpdateVerdict::kNormBound: return "norm-bound";
+    case UpdateVerdict::kNoSamples: return "no-samples";
+  }
+  return "?";
+}
+
+UpdateVerdict validate_update(ModularModel& cloud, const EdgeUpdate& up,
+                              double norm_bound_rms) {
+  const std::size_t l_count = cloud.num_module_layers();
+  if (up.spec.modules.size() != l_count ||
+      up.module_states.size() != l_count || up.importance.size() != l_count) {
+    return UpdateVerdict::kLayerCountMismatch;
+  }
+  if (up.num_samples <= 0) return UpdateVerdict::kNoSamples;
+  for (std::size_t l = 0; l < l_count; ++l) {
+    const auto& ids = up.spec.modules[l];
+    if (up.module_states[l].size() != ids.size()) {
+      return UpdateVerdict::kStateSizeMismatch;
+    }
+    if (up.importance[l].size() !=
+        static_cast<std::size_t>(cloud.full_widths()[l])) {
+      return UpdateVerdict::kLayerCountMismatch;
+    }
+    for (double imp : up.importance[l]) {
+      if (!std::isfinite(imp)) return UpdateVerdict::kNonFinite;
+    }
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const std::int64_t gid = ids[j];
+      if (gid < 0 || gid >= cloud.full_widths()[l]) {
+        return UpdateVerdict::kStateSizeMismatch;
+      }
+      const auto& state = up.module_states[l][j];
+      if (state.size() != cloud.module_state(l, gid).size()) {
+        return UpdateVerdict::kStateSizeMismatch;
+      }
+      if (!all_finite(state)) return UpdateVerdict::kNonFinite;
+      if (!rms_within(state, norm_bound_rms)) return UpdateVerdict::kNormBound;
+    }
+  }
+  if (up.shared_state.size() != cloud.shared_state().size()) {
+    return UpdateVerdict::kStateSizeMismatch;
+  }
+  if (!all_finite(up.shared_state)) return UpdateVerdict::kNonFinite;
+  if (!rms_within(up.shared_state, norm_bound_rms)) {
+    return UpdateVerdict::kNormBound;
+  }
+  return UpdateVerdict::kOk;
+}
 
 std::int64_t EdgeUpdate::payload_bytes() const {
   std::int64_t floats = static_cast<std::int64_t>(shared_state.size());
@@ -32,15 +106,17 @@ EdgeUpdate make_edge_update(ModularModel& submodel,
 void aggregate_module_wise(ModularModel& cloud,
                            const std::vector<EdgeUpdate>& updates,
                            AggregationWeighting weighting, float server_mix) {
-  if (updates.empty()) return;
   NEBULA_CHECK(server_mix > 0.0f && server_mix <= 1.0f);
-  const std::size_t l_count = cloud.num_module_layers();
+  // Quarantine anything structurally wrong or non-finite *before* touching a
+  // single cloud parameter, so a bad upload can never leave the cloud model
+  // half-mutated or poisoned.
+  std::vector<const EdgeUpdate*> valid;
+  valid.reserve(updates.size());
   for (const auto& up : updates) {
-    NEBULA_CHECK_MSG(up.spec.modules.size() == l_count,
-                     "update layer count mismatch");
-    NEBULA_CHECK(up.module_states.size() == l_count);
-    NEBULA_CHECK(up.importance.size() == l_count);
+    if (validate_update(cloud, up) == UpdateVerdict::kOk) valid.push_back(&up);
   }
+  if (valid.empty()) return;
+  const std::size_t l_count = cloud.num_module_layers();
 
   // ---- Module-wise importance-weighted averaging -----------------------------
   for (std::size_t l = 0; l < l_count; ++l) {
@@ -48,7 +124,8 @@ void aggregate_module_wise(ModularModel& cloud,
       // Collect every update carrying this module.
       std::vector<const std::vector<float>*> states;
       std::vector<double> weights;
-      for (const auto& up : updates) {
+      for (const EdgeUpdate* upp : valid) {
+        const auto& up = *upp;
         const auto& ids = up.spec.modules[l];
         const auto it = std::find(ids.begin(), ids.end(), gid);
         if (it == ids.end()) continue;
@@ -79,17 +156,17 @@ void aggregate_module_wise(ModularModel& cloud,
 
   // ---- Shared components: FedAvg by sample count ------------------------------
   double n_total = 0.0;
-  for (const auto& up : updates) n_total += static_cast<double>(up.num_samples);
+  for (const EdgeUpdate* up : valid) {
+    n_total += static_cast<double>(up->num_samples);
+  }
   NEBULA_CHECK(n_total > 0.0);
   std::vector<float> merged = cloud.shared_state();
   for (auto& v : merged) v *= (1.0f - server_mix);
-  for (const auto& up : updates) {
-    NEBULA_CHECK_MSG(up.shared_state.size() == merged.size(),
-                     "shared state size mismatch during aggregation");
+  for (const EdgeUpdate* up : valid) {
     const float w =
-        server_mix * static_cast<float>(up.num_samples / n_total);
+        server_mix * static_cast<float>(up->num_samples / n_total);
     for (std::size_t i = 0; i < merged.size(); ++i) {
-      merged[i] += w * up.shared_state[i];
+      merged[i] += w * up->shared_state[i];
     }
   }
   cloud.set_shared_state(merged);

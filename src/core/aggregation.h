@@ -35,6 +35,25 @@ enum class AggregationWeighting {
   kUniform,     // ablation: plain overlap averaging
 };
 
+/// Server-side verdict on an uploaded update before it may touch the cloud.
+enum class UpdateVerdict {
+  kOk,
+  kLayerCountMismatch,  // wrong number of module layers / importance rows
+  kStateSizeMismatch,   // a module id or payload doesn't match the cloud spec
+  kNonFinite,           // NaN/Inf anywhere in the payload
+  kNormBound,           // payload RMS exceeds the configured bound
+  kNoSamples,           // claims zero (or negative) training samples
+};
+
+const char* update_verdict_name(UpdateVerdict v);
+
+/// Validates `up` against `cloud`'s architecture: layer counts, per-module
+/// and shared state sizes vs. the spec, finiteness of every parameter, and
+/// (when `norm_bound_rms` > 0) an RMS bound on module/shared payloads.
+/// Never mutates the cloud. Returns the first failure found.
+UpdateVerdict validate_update(ModularModel& cloud, const EdgeUpdate& up,
+                              double norm_bound_rms = 0.0);
+
 /// Applies module-wise weighted aggregation of `updates` into `cloud`.
 /// Modules not present in any update keep their cloud parameters.
 /// `server_mix` blends the aggregate with the existing cloud state:
@@ -42,6 +61,12 @@ enum class AggregationWeighting {
 /// (FedAvg-style replacement) and a smaller value for continuous single-
 /// device updates, where replacement would let one biased device overwrite
 /// knowledge contributed by the rest of the fleet.
+///
+/// Robustness: every update is validated (validate_update, structural +
+/// finiteness checks) *before* any cloud parameter changes; invalid updates
+/// are quarantined — skipped, never partially applied — and if none survive
+/// the call is a no-op. The cloud model therefore stays finite and
+/// structurally intact whatever arrives from the network.
 void aggregate_module_wise(
     ModularModel& cloud, const std::vector<EdgeUpdate>& updates,
     AggregationWeighting weighting = AggregationWeighting::kImportance,

@@ -1,6 +1,7 @@
 #include "core/nebula.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "nn/serialize.h"
 
@@ -70,7 +71,7 @@ DerivationResult NebulaSystem::derive(std::int64_t k) {
 }
 
 std::int64_t NebulaSystem::download_bytes(const SubmodelSpec& spec,
-                                          std::int64_t device) {
+                                          std::int64_t device) const {
   std::int64_t floats = 0;
   for (std::size_t l = 0; l < spec.modules.size(); ++l) {
     for (std::int64_t gid : spec.modules[l]) {
@@ -81,9 +82,12 @@ std::int64_t NebulaSystem::download_bytes(const SubmodelSpec& spec,
   floats += static_cast<std::int64_t>(cloud_->shared_state().size());
   if (!selector_cached_.at(static_cast<std::size_t>(device))) {
     floats += selector_->state_size();
-    selector_cached_[static_cast<std::size_t>(device)] = true;
   }
   return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+void NebulaSystem::inject_faults(const FaultConfig& cfg) {
+  faults_ = std::make_unique<FaultInjector>(cfg);
 }
 
 EdgeUpdate NebulaSystem::train_and_pack(std::int64_t k,
@@ -91,32 +95,165 @@ EdgeUpdate NebulaSystem::train_and_pack(std::int64_t k,
   TrainConfig edge_cfg = cfg_.edge;
   edge_cfg.seed = rng_.next_u64();
   train_modular(submodel, *selector_, pop_.local_data(k), edge_cfg);
-  EdgeUpdate up = make_edge_update(submodel, device_importance(k),
-                                   pop_.local_data(k).size());
-  ledger_.record_upload(up.payload_bytes());
-  return up;
+  return make_edge_update(submodel, device_importance(k),
+                          pop_.local_data(k).size());
 }
 
-std::vector<std::int64_t> NebulaSystem::round() {
+bool NebulaSystem::faulted_transfer(std::int64_t round_idx, std::int64_t k,
+                                    std::int64_t transfer_idx,
+                                    std::int64_t bytes,
+                                    const DeviceFate& fate,
+                                    RoundReport& report, double& wall_s) {
+  const FaultPolicy& policy = cfg_.fault_policy;
+  const int attempts = std::max(1, policy.max_transfer_attempts);
+  for (int a = 0; a < attempts; ++a) {
+    wall_s +=
+        CostModel::transfer_time_s(bytes, profile(k), fate.bandwidth_factor);
+    const bool fails =
+        faults_ && faults_->transfer_attempt_fails(round_idx, k, transfer_idx,
+                                                   a);
+    if (!fails) return true;
+    // The bytes burnt in flight are overhead, never goodput.
+    if (transfer_idx == 0) {
+      ledger_.record_failed_download(bytes);
+    } else {
+      ledger_.record_failed_upload(bytes);
+    }
+    if (a + 1 < attempts) {
+      ++report.transfer_retries;
+      wall_s += std::min(policy.backoff_cap_s,
+                         policy.backoff_base_s * static_cast<double>(1 << a));
+    }
+  }
+  return false;
+}
+
+void NebulaSystem::apply_corruption(EdgeUpdate& up, CorruptionKind kind,
+                                    Rng& rng) const {
+  switch (kind) {
+    case CorruptionKind::kNone:
+      return;
+    case CorruptionKind::kNaN:
+    case CorruptionKind::kZero:
+      FaultInjector::corrupt_payload(up.shared_state, kind, rng);
+      for (auto& layer : up.module_states) {
+        for (auto& m : layer) FaultInjector::corrupt_payload(m, kind, rng);
+      }
+      return;
+    case CorruptionKind::kTruncate: {
+      // One payload arrives short; prefer a parameterised module state.
+      std::vector<std::vector<float>*> candidates;
+      for (auto& layer : up.module_states) {
+        for (auto& m : layer) {
+          if (!m.empty()) candidates.push_back(&m);
+        }
+      }
+      if (candidates.empty()) candidates.push_back(&up.shared_state);
+      auto* victim = candidates[static_cast<std::size_t>(
+          rng.uniform_int(candidates.size()))];
+      FaultInjector::corrupt_payload(*victim, kind, rng);
+      return;
+    }
+  }
+}
+
+RoundReport NebulaSystem::round() {
+  const std::int64_t round_idx = round_index_++;
+  const FaultPolicy& policy = cfg_.fault_policy;
+  RoundReport rep;
   const std::int64_t n = pop_.num_devices();
   const std::int64_t m = std::min(cfg_.devices_per_round, n);
   auto pick = rng_.choose(static_cast<std::size_t>(n),
                           static_cast<std::size_t>(m));
   std::vector<EdgeUpdate> updates;
-  std::vector<std::int64_t> participants;
+  double round_wall_s = 0.0;
+  bool straggler_cut = false;
   for (std::size_t i = 0; i < pick.size(); ++i) {
     const std::int64_t k = static_cast<std::int64_t>(pick[i]);
-    participants.push_back(k);
+    rep.participants.push_back(k);
+    const DeviceFate fate =
+        faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
+    if (fate.dropped) {  // never checked in
+      rep.dropped.push_back(k);
+      continue;
+    }
+
     DerivationResult der = derive(k);
-    ledger_.record_download(download_bytes(der.spec, k));
+    const std::int64_t dl_bytes = download_bytes(der.spec, k);
+    double wall_s = 0.0;
+    if (!faulted_transfer(round_idx, k, /*transfer_idx=*/0, dl_bytes, fate,
+                          rep, wall_s)) {
+      rep.dropped.push_back(k);  // dead link, sub-model never arrived
+      continue;
+    }
+    ledger_.record_download(dl_bytes);
+    mark_selector_cached(k);
+
     auto submodel = cloud_->derive_submodel(der.spec);
-    updates.push_back(train_and_pack(k, *submodel));
+    EdgeUpdate up = train_and_pack(k, *submodel);
+    const double train_flops =
+        3.0 * static_cast<double>(submodel->forward_flops(cfg_.top_k)) *
+        static_cast<double>(pop_.local_data(k).size()) *
+        static_cast<double>(cfg_.edge.epochs);
+    wall_s += CostModel::compute_time_s(train_flops, profile(k),
+                                        fate.latency_multiplier);
+    // The device holds its refreshed resident sub-model from here on —
+    // local training happened whatever the uplink does next.
     auto& state = edge_states_[static_cast<std::size_t>(k)];
     state.spec = der.spec;
     state.model = std::move(submodel);
+
+    if (fate.crashes_before_upload) {
+      rep.dropped.push_back(k);
+      continue;
+    }
+    if (fate.corruption != CorruptionKind::kNone) {
+      Rng crng = faults_->payload_rng(round_idx, k);
+      apply_corruption(up, fate.corruption, crng);
+    }
+    if (!faulted_transfer(round_idx, k, /*transfer_idx=*/1,
+                          up.payload_bytes(), fate, rep, wall_s)) {
+      rep.dropped.push_back(k);  // upload lost after all retries
+      continue;
+    }
+    ledger_.record_upload(up.payload_bytes());
+
+    if (policy.round_deadline_s > 0.0 && wall_s > policy.round_deadline_s) {
+      rep.straggled.push_back(k);
+      if (policy.staleness_factor <= 0.0f) {
+        straggler_cut = true;  // server closed the round without it
+        continue;
+      }
+      // Down-weight the stale update instead of discarding it.
+      for (auto& layer : up.importance) {
+        for (auto& v : layer) v *= policy.staleness_factor;
+      }
+      up.num_samples = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::llround(
+                 static_cast<double>(up.num_samples) *
+                 policy.staleness_factor)));
+    }
+
+    const UpdateVerdict verdict =
+        validate_update(*cloud_, up, policy.norm_bound_rms);
+    if (verdict != UpdateVerdict::kOk) {
+      rep.rejected.push_back(k);  // quarantined, never touches the cloud
+      continue;
+    }
+
+    rep.completed.push_back(k);
+    round_wall_s = std::max(round_wall_s, wall_s);
+    updates.push_back(std::move(up));
   }
-  aggregate_module_wise(*cloud_, updates, cfg_.weighting);
-  return participants;
+  rep.wall_time_s = straggler_cut
+                        ? std::max(round_wall_s, policy.round_deadline_s)
+                        : round_wall_s;
+  if (static_cast<std::int64_t>(updates.size()) >=
+          std::max<std::int64_t>(1, policy.min_quorum)) {
+    aggregate_module_wise(*cloud_, updates, cfg_.weighting);
+    rep.aggregated = true;
+  }
+  return rep;
 }
 
 void NebulaSystem::adapt_device(std::int64_t k, bool query_cloud,
@@ -125,6 +262,7 @@ void NebulaSystem::adapt_device(std::int64_t k, bool query_cloud,
   if (query_cloud || !state.model) {
     DerivationResult der = derive(k);
     ledger_.record_download(download_bytes(der.spec, k));
+    mark_selector_cached(k);
     state.spec = der.spec;
     state.model = cloud_->derive_submodel(der.spec);
   }
@@ -136,6 +274,7 @@ void NebulaSystem::adapt_device(std::int64_t k, bool query_cloud,
     return;
   }
   EdgeUpdate up = train_and_pack(k, *state.model);
+  ledger_.record_upload(up.payload_bytes());
   aggregate_module_wise(*cloud_, {up}, cfg_.weighting, cfg_.online_mix);
 }
 
@@ -169,6 +308,19 @@ void NebulaSystem::save_cloud(const std::string& path) {
 
 void NebulaSystem::load_cloud(const std::string& path) {
   const std::vector<float> blob = load_state_file(path);
+  // Reject wrong-sized checkpoints (truncated files, trailing data, state
+  // from a different architecture) before mutating anything, so a failed
+  // load never leaves the cloud model half-restored.
+  std::size_t expected = cloud_->shared_state().size() +
+                         static_cast<std::size_t>(selector_->state_size());
+  for (std::size_t l = 0; l < cloud_->num_module_layers(); ++l) {
+    for (std::int64_t gid = 0; gid < cloud_->full_widths()[l]; ++gid) {
+      expected += cloud_->module_state(l, gid).size();
+    }
+  }
+  NEBULA_CHECK_MSG(blob.size() == expected,
+                   "checkpoint " << path << " holds " << blob.size()
+                                 << " floats, expected " << expected);
   std::size_t off = 0;
   auto take = [&](std::size_t n) {
     NEBULA_CHECK_MSG(off + n <= blob.size(), "checkpoint too small");

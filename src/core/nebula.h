@@ -28,8 +28,47 @@
 #include "data/partition.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
+#include "sim/faults.h"
 
 namespace nebula {
+
+/// Server-side policy for surviving faulty rounds (DESIGN.md §9). Always in
+/// force; it only changes behaviour when transfers actually fail, uploads
+/// arrive damaged, or a deadline/quorum is configured — with no faults the
+/// round is bit-identical to the fair-weather protocol.
+struct FaultPolicy {
+  /// Per-transfer attempts (1 = no retry) with capped exponential backoff.
+  int max_transfer_attempts = 3;
+  double backoff_base_s = 0.5;
+  double backoff_cap_s = 4.0;
+  /// Round deadline in estimated wall-seconds; devices whose download +
+  /// train + upload estimate exceeds it are stragglers. 0 disables.
+  double round_deadline_s = 0.0;
+  /// Weight applied to a straggler's late update (scales importance and
+  /// sample count). 0 drops late updates entirely.
+  float staleness_factor = 0.0f;
+  /// Fewer surviving updates than this skips aggregation for the round,
+  /// leaving the cloud model untouched.
+  std::int64_t min_quorum = 1;
+  /// RMS bound for server-side update validation (0 disables the norm
+  /// check; shape and finiteness checks are always on).
+  double norm_bound_rms = 1e3;
+};
+
+/// What happened in one collaborative round. Devices appear in exactly one
+/// of completed / dropped / rejected; `straggled` additionally lists devices
+/// that missed the deadline (kept down-weighted when the staleness policy
+/// allows, otherwise counted only here).
+struct RoundReport {
+  std::vector<std::int64_t> participants;  // sampled this round
+  std::vector<std::int64_t> completed;     // update aggregated into the cloud
+  std::vector<std::int64_t> dropped;       // dropout, crash, or dead link
+  std::vector<std::int64_t> straggled;     // estimate exceeded the deadline
+  std::vector<std::int64_t> rejected;      // quarantined by validation
+  std::int64_t transfer_retries = 0;       // failed attempts that were retried
+  double wall_time_s = 0.0;  // estimated round wall time (slowest survivor)
+  bool aggregated = false;   // quorum met and the cloud model was updated
+};
 
 struct NebulaConfig {
   TrainConfig pretrain;              // offline end-to-end training
@@ -49,6 +88,9 @@ struct NebulaConfig {
   double budget_lo = 0.35;
   double budget_hi = 0.8;
   std::uint64_t seed = 7;
+  /// Fault-tolerance policy for the round protocol (retry, deadline,
+  /// quarantine, quorum).
+  FaultPolicy fault_policy;
 
   NebulaConfig() {
     pretrain.epochs = 8;
@@ -82,9 +124,13 @@ class NebulaSystem {
   DerivationResult derive(std::int64_t k);
 
   /// One collaborative adaptation round: sample devices, derive + download
-  /// sub-models, local training, upload, module-wise aggregation.
-  /// Returns the ids of the participating devices.
-  std::vector<std::int64_t> round();
+  /// sub-models, local training, upload, module-wise aggregation. When a
+  /// fault injector is attached the round survives dropouts, stragglers,
+  /// flaky links and corrupted payloads per `cfg.fault_policy`: transfers
+  /// retry with capped exponential backoff, estimates past the deadline are
+  /// dropped or down-weighted, uploads are validated and quarantined before
+  /// touching the cloud, and aggregation is skipped below quorum.
+  RoundReport round();
 
   /// Fine-grained step for continuous-adaptation experiments: refresh device
   /// k's resident sub-model. `query_cloud` re-derives from the cloud
@@ -116,11 +162,27 @@ class NebulaSystem {
   double budget_fraction_for(std::int64_t k) const;
   const SubmodelSpec* resident_spec(std::int64_t k) const;
 
+  // ---- Fault injection --------------------------------------------------------
+
+  /// Attaches a fault injector built from `cfg`; subsequent rounds draw
+  /// device fates from it. Replaces any previous injector.
+  void inject_faults(const FaultConfig& cfg);
+  void clear_faults() { faults_.reset(); }
+  const FaultInjector* faults() const { return faults_.get(); }
+
   /// Bytes to download a sub-model for device k: modules + shared state,
-  /// plus the (immutable) unified selector the first time this device
-  /// fetches anything — devices cache the selector, it never changes during
-  /// the online stage.
-  std::int64_t download_bytes(const SubmodelSpec& spec, std::int64_t device);
+  /// plus the (immutable) unified selector if this device has never
+  /// successfully fetched anything — devices cache the selector, it never
+  /// changes during the online stage. Pure size computation: call
+  /// `mark_selector_cached` once the transfer actually succeeds, otherwise
+  /// a failed download would undercount all future traffic.
+  std::int64_t download_bytes(const SubmodelSpec& spec,
+                              std::int64_t device) const;
+
+  /// Commits the selector-cache flag after a successful first download.
+  void mark_selector_cached(std::int64_t device) {
+    selector_cached_.at(static_cast<std::size_t>(device)) = true;
+  }
 
   /// Builds an executable sub-model from the current cloud model.
   std::unique_ptr<ModularModel> build_submodel(const SubmodelSpec& spec) {
@@ -141,6 +203,14 @@ class NebulaSystem {
 
   std::vector<std::int64_t> proxy_subtasks(const SyntheticData& proxy) const;
   EdgeUpdate train_and_pack(std::int64_t k, ModularModel& submodel);
+  /// Runs one transfer (download/upload) with retry + capped exponential
+  /// backoff. Returns success; accumulates wall time, ledger traffic
+  /// (goodput on success, waste on failures) and the report's retry count.
+  bool faulted_transfer(std::int64_t round_idx, std::int64_t k,
+                        std::int64_t transfer_idx, std::int64_t bytes,
+                        const DeviceFate& fate, RoundReport& report,
+                        double& wall_s);
+  void apply_corruption(EdgeUpdate& up, CorruptionKind kind, Rng& rng) const;
 
   std::unique_ptr<ModularModel> cloud_;
   std::unique_ptr<ModuleSelector> selector_;
@@ -153,6 +223,8 @@ class NebulaSystem {
   CommLedger ledger_;
   Rng rng_;
   double cap_max_ = 1.0;
+  std::unique_ptr<FaultInjector> faults_;
+  std::int64_t round_index_ = 0;
 };
 
 }  // namespace nebula

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "nn/init.h"
+#include "nn/state.h"
 
 namespace nebula {
 
@@ -215,6 +216,86 @@ AdaptationResult run_adaptation_comparison(TaskEnv& env,
   res.comm_mb_fa = fa.ledger().total_mb();
   res.comm_mb_hfl = hfl.ledger().total_mb();
   res.comm_mb_nebula = nebula.ledger().total_mb();
+  return res;
+}
+
+bool model_state_finite(ModularModel& model) {
+  auto finite = [](const std::vector<float>& v) {
+    for (float x : v) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
+  if (!finite(model.shared_state())) return false;
+  for (std::size_t l = 0; l < model.num_module_layers(); ++l) {
+    for (std::int64_t gid = 0; gid < model.full_widths()[l]; ++gid) {
+      if (!finite(model.module_state(l, gid))) return false;
+    }
+  }
+  return true;
+}
+
+FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
+                                      const FaultConfig& faults,
+                                      std::uint64_t seed) {
+  EdgePopulation& pop = *env.population;
+  TrainConfig pre;
+  pre.epochs = scale.pretrain_epochs;
+  pre.lr = env.spec.pretrain_lr;
+  const std::int64_t eval_n =
+      std::min<std::int64_t>(scale.eval_devices, pop.num_devices());
+
+  init::reseed(seed + 41);
+  FedAvgConfig fc;
+  fc.devices_per_round = scale.devices_per_round;
+  fc.seed = seed + 42;
+  FedAvg fa(env.plain(), pop, fc);
+  fa.pretrain(env.proxy.data, pre);
+
+  ZooOptions zo;
+  zo.init_seed = seed + 43;
+  NebulaConfig nc;
+  nc.devices_per_round = scale.devices_per_round;
+  nc.pretrain.epochs = scale.pretrain_epochs;
+  nc.pretrain.lr = env.spec.pretrain_lr;
+  nc.ability.finetune.lr = env.spec.pretrain_lr;
+  nc.seed = seed + 44;
+  NebulaSystem sys(env.modular(zo), pop, env.profiles, nc);
+  sys.offline(env.proxy);
+
+  // Identical fault schedule for both systems: same seed, same coordinates.
+  FaultInjector fedavg_faults(faults);
+  fa.set_fault_injector(&fedavg_faults);
+  sys.inject_faults(faults);
+
+  FaultSweepResult res;
+  const std::int64_t rounds = 2 * scale.warm_rounds;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    fa.round();
+    const RoundReport rep = sys.round();
+    res.rounds_aggregated += rep.aggregated ? 1 : 0;
+    res.updates_dropped += static_cast<std::int64_t>(rep.dropped.size());
+    res.updates_rejected += static_cast<std::int64_t>(rep.rejected.size());
+    res.transfer_retries += rep.transfer_retries;
+  }
+
+  for (std::int64_t k = 0; k < eval_n; ++k) {
+    res.fedavg_acc += fa.eval_device(k, scale.test_samples);
+    res.nebula_acc += sys.eval_derived(k, scale.test_samples);
+  }
+  const double inv = 1.0 / static_cast<double>(eval_n);
+  res.fedavg_acc *= inv;
+  res.nebula_acc *= inv;
+
+  res.nebula_finite = model_state_finite(sys.cloud());
+  for (float x : get_state(fa.global())) {
+    if (!std::isfinite(x)) {
+      res.fedavg_finite = false;
+      break;
+    }
+  }
+  res.nebula_goodput_mb = sys.ledger().total_mb();
+  res.nebula_overhead_mb = sys.ledger().overhead_mb();
   return res;
 }
 

@@ -92,6 +92,31 @@ AdaptationResult run_adaptation_comparison(TaskEnv& env,
                                            const BenchScale& scale,
                                            std::uint64_t seed);
 
+/// One cell of the fault-sweep grid (`bench_fig_faults`): Nebula's
+/// fault-tolerant rounds vs FedAvg under the same seeded fault schedule.
+struct FaultSweepResult {
+  double nebula_acc = 0.0;        // mean derived-sub-model accuracy
+  double fedavg_acc = 0.0;        // mean global-model accuracy
+  bool nebula_finite = true;      // cloud model stayed NaN/Inf-free
+  bool fedavg_finite = true;      // global model stayed NaN/Inf-free
+  std::int64_t rounds_aggregated = 0;  // Nebula rounds that met quorum
+  std::int64_t updates_dropped = 0;    // dropout + crash + dead links
+  std::int64_t updates_rejected = 0;   // quarantined by validation
+  std::int64_t transfer_retries = 0;
+  double nebula_goodput_mb = 0.0;   // useful traffic
+  double nebula_overhead_mb = 0.0;  // failed-transfer waste
+};
+
+/// Pretrains both systems on `env`, attaches `faults` to each, runs
+/// 2 x warm_rounds collaborative rounds and evaluates mean device accuracy.
+FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
+                                      const FaultConfig& faults,
+                                      std::uint64_t seed);
+
+/// True when every parameter of the modular model (shared + all modules) is
+/// finite — the invariant the quarantine must preserve.
+bool model_state_finite(ModularModel& model);
+
 /// Mean of a vector (0 for empty) — tiny stats helpers for benches.
 double mean_of(const std::vector<double>& v);
 double stddev_of(const std::vector<double>& v);

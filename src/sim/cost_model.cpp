@@ -46,9 +46,10 @@ double CostModel::inference_latency_ms(Layer& model,
   const double flops = static_cast<double>(
       forward_flops(model, std::move(sample_shape))) *
                        static_cast<double>(batch);
-  const double base_s = flops / device.flops_per_sec;
   const double overhead_s = dispatch_overhead_s(device, /*training=*/false);
-  return (base_s + overhead_s) * runtime.contention_factor() * 1e3;
+  return (compute_time_s(flops, device, runtime.contention_factor()) +
+          overhead_s * runtime.contention_factor()) *
+         1e3;
 }
 
 double CostModel::training_latency_ms(Layer& model,
@@ -59,16 +60,25 @@ double CostModel::training_latency_ms(Layer& model,
   const double flops = static_cast<double>(
       training_flops(model, std::move(sample_shape))) *
                        static_cast<double>(batch);
-  const double base_s = flops / device.flops_per_sec;
   const double overhead_s = dispatch_overhead_s(device, /*training=*/true);
-  return (base_s + overhead_s) * runtime.contention_factor() * 1e3;
+  return (compute_time_s(flops, device, runtime.contention_factor()) +
+          overhead_s * runtime.contention_factor()) *
+         1e3;
+}
+
+double CostModel::compute_time_s(double flops, const DeviceProfile& device,
+                                 double slowdown) {
+  NEBULA_CHECK(flops >= 0.0 && slowdown >= 1.0);
+  return flops / device.flops_per_sec * slowdown;
 }
 
 double CostModel::transfer_time_s(std::int64_t bytes,
-                                  const DeviceProfile& device) {
+                                  const DeviceProfile& device,
+                                  double bandwidth_factor) {
   NEBULA_CHECK(bytes >= 0);
+  NEBULA_CHECK(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
   const double bits = static_cast<double>(bytes) * 8.0;
-  return bits / (device.bandwidth_mbps * 1e6);
+  return bits / (device.bandwidth_mbps * 1e6 * bandwidth_factor);
 }
 
 ResourceCost CostModel::resource_cost(

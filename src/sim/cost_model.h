@@ -62,9 +62,18 @@ class CostModel {
                                     const DeviceProfile& device,
                                     const RuntimeMonitor& runtime);
 
-  /// Seconds to move `bytes` over the device's link.
+  /// Seconds of raw compute for `flops` on a device, inflated by `slowdown`
+  /// (contention factor or fault-injected straggler multiplier). The
+  /// latency_ms entry points and the fault-tolerant round protocol both
+  /// funnel through this.
+  static double compute_time_s(double flops, const DeviceProfile& device,
+                               double slowdown = 1.0);
+
+  /// Seconds to move `bytes` over the device's link. `bandwidth_factor`
+  /// scales the effective bandwidth (< 1 models a degraded link).
   static double transfer_time_s(std::int64_t bytes,
-                                const DeviceProfile& device);
+                                const DeviceProfile& device,
+                                double bandwidth_factor = 1.0);
 
   /// Fixed per-batch dispatch overhead (kernel launches, memcpy). Scaled to
   /// the reduced model sizes of this reproduction so that compute, not
@@ -88,17 +97,43 @@ class CostModel {
 };
 
 /// Accumulates edge-cloud traffic over a collaborative training run.
+///
+/// Goodput (download/upload bytes of transfers that completed) is tracked
+/// separately from fault-induced overhead (bytes burnt by transfer attempts
+/// that failed and were retried or abandoned), so comm plots can distinguish
+/// useful traffic from waste. `total_bytes`/`total_mb` remain goodput-only
+/// for continuity with pre-fault plots.
 class CommLedger {
  public:
   void record_download(std::int64_t bytes) {
     NEBULA_CHECK(bytes >= 0);
     download_bytes_ += bytes;
+    ++download_attempts_;
   }
   void record_upload(std::int64_t bytes) {
     NEBULA_CHECK(bytes >= 0);
     upload_bytes_ += bytes;
+    ++upload_attempts_;
   }
-  void reset() { download_bytes_ = upload_bytes_ = 0; }
+  /// A download attempt that failed in flight: counts the wasted bytes and
+  /// the attempt, but no goodput.
+  void record_failed_download(std::int64_t bytes) {
+    NEBULA_CHECK(bytes >= 0);
+    wasted_download_bytes_ += bytes;
+    ++download_attempts_;
+    ++failed_attempts_;
+  }
+  void record_failed_upload(std::int64_t bytes) {
+    NEBULA_CHECK(bytes >= 0);
+    wasted_upload_bytes_ += bytes;
+    ++upload_attempts_;
+    ++failed_attempts_;
+  }
+  void reset() {
+    download_bytes_ = upload_bytes_ = 0;
+    wasted_download_bytes_ = wasted_upload_bytes_ = 0;
+    download_attempts_ = upload_attempts_ = failed_attempts_ = 0;
+  }
 
   std::int64_t download_bytes() const { return download_bytes_; }
   std::int64_t upload_bytes() const { return upload_bytes_; }
@@ -107,9 +142,30 @@ class CommLedger {
     return static_cast<double>(total_bytes()) / (1024.0 * 1024.0);
   }
 
+  std::int64_t wasted_download_bytes() const { return wasted_download_bytes_; }
+  std::int64_t wasted_upload_bytes() const { return wasted_upload_bytes_; }
+  std::int64_t overhead_bytes() const {
+    return wasted_download_bytes_ + wasted_upload_bytes_;
+  }
+  double overhead_mb() const {
+    return static_cast<double>(overhead_bytes()) / (1024.0 * 1024.0);
+  }
+  /// Goodput + fault-induced retransmission overhead.
+  std::int64_t total_bytes_with_overhead() const {
+    return total_bytes() + overhead_bytes();
+  }
+  std::int64_t download_attempts() const { return download_attempts_; }
+  std::int64_t upload_attempts() const { return upload_attempts_; }
+  std::int64_t failed_attempts() const { return failed_attempts_; }
+
  private:
   std::int64_t download_bytes_ = 0;
   std::int64_t upload_bytes_ = 0;
+  std::int64_t wasted_download_bytes_ = 0;
+  std::int64_t wasted_upload_bytes_ = 0;
+  std::int64_t download_attempts_ = 0;
+  std::int64_t upload_attempts_ = 0;
+  std::int64_t failed_attempts_ = 0;
 };
 
 }  // namespace nebula

@@ -1,0 +1,143 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nebula {
+
+const char* corruption_kind_name(CorruptionKind k) {
+  switch (k) {
+    case CorruptionKind::kNone: return "none";
+    case CorruptionKind::kNaN: return "nan";
+    case CorruptionKind::kZero: return "zero";
+    case CorruptionKind::kTruncate: return "truncate";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_prob(double p) { return p >= 0.0 && p <= 1.0; }
+
+// splitmix64 finaliser: decorrelates the structured (round, device, salt)
+// coordinates before they seed a fate stream.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  NEBULA_CHECK_MSG(is_prob(dropout_prob) && is_prob(crash_prob) &&
+                       is_prob(straggler_prob) &&
+                       is_prob(transfer_failure_prob) &&
+                       is_prob(degraded_link_prob) && is_prob(corruption_prob),
+                   "fault probabilities must lie in [0, 1]");
+  NEBULA_CHECK_MSG(straggler_multiplier_lo >= 1.0 &&
+                       straggler_multiplier_hi >= straggler_multiplier_lo,
+                   "straggler multipliers must satisfy 1 <= lo <= hi");
+  NEBULA_CHECK_MSG(degraded_bandwidth_factor > 0.0 &&
+                       degraded_bandwidth_factor <= 1.0,
+                   "degraded bandwidth factor must lie in (0, 1]");
+  NEBULA_CHECK_MSG(transfer_failure_prob < 1.0,
+                   "a transfer failure probability of 1 can never succeed");
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+Rng FaultInjector::stream(std::int64_t round, std::int64_t device,
+                          std::uint64_t salt) const {
+  std::uint64_t s = cfg_.seed;
+  s = mix(s ^ (static_cast<std::uint64_t>(round) + 0x9e3779b97f4a7c15ULL));
+  s = mix(s ^ (static_cast<std::uint64_t>(device) + 0x7f4a7c159e3779b9ULL));
+  s = mix(s ^ salt);
+  return Rng(s);
+}
+
+DeviceFate FaultInjector::device_fate(std::int64_t round,
+                                      std::int64_t device) const {
+  DeviceFate fate;
+  if (!enabled()) return fate;
+  Rng r = stream(round, device, /*salt=*/0x01);
+  // Draw every dimension unconditionally so one probability knob never
+  // shifts the draws of another.
+  const double u_drop = r.uniform();
+  const double u_crash = r.uniform();
+  const double u_strag = r.uniform();
+  const double u_strag_mult = r.uniform();
+  const double u_link = r.uniform();
+  const double u_corrupt = r.uniform();
+  const std::uint64_t corrupt_kind = r.next_u64();
+
+  fate.dropped = u_drop < cfg_.dropout_prob;
+  fate.crashes_before_upload = u_crash < cfg_.crash_prob;
+  if (u_strag < cfg_.straggler_prob) {
+    fate.latency_multiplier =
+        cfg_.straggler_multiplier_lo +
+        (cfg_.straggler_multiplier_hi - cfg_.straggler_multiplier_lo) *
+            u_strag_mult;
+  }
+  if (u_link < cfg_.degraded_link_prob) {
+    fate.bandwidth_factor = cfg_.degraded_bandwidth_factor;
+  }
+  if (u_corrupt < cfg_.corruption_prob) {
+    constexpr CorruptionKind kKinds[] = {
+        CorruptionKind::kNaN, CorruptionKind::kZero, CorruptionKind::kTruncate};
+    fate.corruption = kKinds[corrupt_kind % 3];
+  }
+  return fate;
+}
+
+bool FaultInjector::transfer_attempt_fails(std::int64_t round,
+                                           std::int64_t device,
+                                           std::int64_t transfer,
+                                           std::int64_t attempt) const {
+  if (cfg_.transfer_failure_prob <= 0.0) return false;
+  const std::uint64_t salt =
+      0x02 + 0x100 * static_cast<std::uint64_t>(transfer) +
+      0x10000 * static_cast<std::uint64_t>(attempt);
+  Rng r = stream(round, device, salt);
+  return r.uniform() < cfg_.transfer_failure_prob;
+}
+
+Rng FaultInjector::payload_rng(std::int64_t round, std::int64_t device) const {
+  return stream(round, device, /*salt=*/0x03);
+}
+
+void FaultInjector::corrupt_payload(std::vector<float>& payload,
+                                    CorruptionKind kind, Rng& rng) {
+  if (payload.empty() || kind == CorruptionKind::kNone) return;
+  switch (kind) {
+    case CorruptionKind::kNaN: {
+      // Poison ~5% of the entries (at least one) with NaN or Inf.
+      const std::size_t hits =
+          std::max<std::size_t>(1, payload.size() / 20);
+      for (std::size_t h = 0; h < hits; ++h) {
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniform_int(payload.size()));
+        payload[i] = (rng.uniform() < 0.5f)
+                         ? std::numeric_limits<float>::quiet_NaN()
+                         : std::numeric_limits<float>::infinity();
+      }
+      break;
+    }
+    case CorruptionKind::kZero:
+      std::fill(payload.begin(), payload.end(), 0.0f);
+      break;
+    case CorruptionKind::kTruncate: {
+      // Lose a random tail chunk: between 1 element and half the payload.
+      const std::size_t max_cut = std::max<std::size_t>(1, payload.size() / 2);
+      const std::size_t cut =
+          1 + static_cast<std::size_t>(rng.uniform_int(max_cut));
+      payload.resize(payload.size() - cut);
+      break;
+    }
+    case CorruptionKind::kNone:
+      break;
+  }
+}
+
+}  // namespace nebula

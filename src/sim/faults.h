@@ -1,0 +1,107 @@
+// Fault injection for dynamic edge environments (paper Fig. 1: devices
+// churn, contend and fluctuate; real fleets additionally drop out, straggle,
+// lose packets and ship corrupted payloads).
+//
+// A `FaultInjector` is a pure function of (seed, round, device, …): every
+// fate is derived from a counter-mixed RNG stream, so fault schedules are
+// reproducible across runs and independent of the order in which callers
+// query them. It owns no system RNG — with all probabilities at zero a run
+// with an injector attached is bit-identical to one without.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nebula {
+
+/// How an upload payload is damaged in flight.
+enum class CorruptionKind {
+  kNone,
+  kNaN,       // a scattering of NaN/Inf values
+  kZero,      // payload arrives zeroed
+  kTruncate,  // payload arrives short (size mismatch vs. spec)
+};
+
+const char* corruption_kind_name(CorruptionKind k);
+
+/// Probabilities and magnitudes of the modelled fault classes. All default
+/// to "no faults"; any_faults() gates the whole layer.
+struct FaultConfig {
+  // (a) Device churn: never shows up, or crashes after local training but
+  // before its upload completes.
+  double dropout_prob = 0.0;
+  double crash_prob = 0.0;
+
+  // (b) Stragglers: a latency multiplier applied to on-device compute,
+  // drawn uniformly from [multiplier_lo, multiplier_hi].
+  double straggler_prob = 0.0;
+  double straggler_multiplier_lo = 2.0;
+  double straggler_multiplier_hi = 8.0;
+
+  // (c) Link faults: each individual transfer attempt fails with
+  // `transfer_failure_prob`; a degraded link scales effective bandwidth by
+  // `degraded_bandwidth_factor` for the whole round.
+  double transfer_failure_prob = 0.0;
+  double degraded_link_prob = 0.0;
+  double degraded_bandwidth_factor = 0.25;
+
+  // (d) Payload corruption of uploads (kind chosen uniformly at random).
+  double corruption_prob = 0.0;
+
+  std::uint64_t seed = 0xFA17;
+
+  bool any_faults() const {
+    return dropout_prob > 0.0 || crash_prob > 0.0 || straggler_prob > 0.0 ||
+           transfer_failure_prob > 0.0 || degraded_link_prob > 0.0 ||
+           corruption_prob > 0.0;
+  }
+
+  void validate() const;
+};
+
+/// What the injector decided for one device in one round.
+struct DeviceFate {
+  bool dropped = false;               // never starts the round
+  bool crashes_before_upload = false; // trains, then vanishes
+  double latency_multiplier = 1.0;    // >= 1; straggler slowdown
+  double bandwidth_factor = 1.0;      // <= 1; degraded link
+  CorruptionKind corruption = CorruptionKind::kNone;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig cfg);
+
+  const FaultConfig& config() const { return cfg_; }
+  bool enabled() const { return cfg_.any_faults(); }
+
+  /// The fate of `device` in `round`. Deterministic per (seed, round,
+  /// device) and independent of query order.
+  DeviceFate device_fate(std::int64_t round, std::int64_t device) const;
+
+  /// Whether transfer number `transfer` (0 = download, 1 = upload, callers
+  /// may add more) of `device` in `round` fails on its `attempt`-th try.
+  bool transfer_attempt_fails(std::int64_t round, std::int64_t device,
+                              std::int64_t transfer,
+                              std::int64_t attempt) const;
+
+  /// A dedicated RNG stream for corrupting `device`'s payload in `round`
+  /// (feed it to `corrupt_payload` so damage patterns are reproducible).
+  Rng payload_rng(std::int64_t round, std::int64_t device) const;
+
+  /// Damages a flat payload in place. `kTruncate` removes a tail chunk
+  /// (at least one element when the payload is non-empty).
+  static void corrupt_payload(std::vector<float>& payload, CorruptionKind kind,
+                              Rng& rng);
+
+ private:
+  Rng stream(std::int64_t round, std::int64_t device,
+             std::uint64_t salt) const;
+
+  FaultConfig cfg_;
+};
+
+}  // namespace nebula

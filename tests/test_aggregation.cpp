@@ -1,6 +1,9 @@
 // Module-wise sub-model aggregation tests (§5.2).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/aggregation.h"
 #include "core/model_zoo.h"
 
@@ -135,6 +138,97 @@ TEST(Aggregation, EmptyUpdateListIsNoOp) {
   const auto before = zm.model->shared_state();
   aggregate_module_wise(*zm.model, {});
   EXPECT_EQ(zm.model->shared_state(), before);
+}
+
+TEST(Aggregation, ValidateUpdateVerdicts) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0, 1}};
+  auto ok = update_for(*zm.model, spec, 1.0f, 0.5, 10);
+  EXPECT_EQ(validate_update(*zm.model, ok), UpdateVerdict::kOk);
+
+  auto no_samples = ok;
+  no_samples.num_samples = 0;
+  EXPECT_EQ(validate_update(*zm.model, no_samples),
+            UpdateVerdict::kNoSamples);
+
+  auto wrong_layers = ok;
+  wrong_layers.module_states.pop_back();
+  EXPECT_EQ(validate_update(*zm.model, wrong_layers),
+            UpdateVerdict::kLayerCountMismatch);
+
+  auto truncated = ok;
+  truncated.module_states[0][0].pop_back();
+  EXPECT_EQ(validate_update(*zm.model, truncated),
+            UpdateVerdict::kStateSizeMismatch);
+
+  auto nan_update = ok;
+  nan_update.module_states[0][1][0] = std::nanf("");
+  EXPECT_EQ(validate_update(*zm.model, nan_update),
+            UpdateVerdict::kNonFinite);
+
+  auto inf_shared = ok;
+  inf_shared.shared_state[0] = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(validate_update(*zm.model, inf_shared),
+            UpdateVerdict::kNonFinite);
+
+  auto bad_importance = ok;
+  bad_importance.importance[0][0] = std::nan("");
+  EXPECT_EQ(validate_update(*zm.model, bad_importance),
+            UpdateVerdict::kNonFinite);
+
+  // Finite but absurdly large parameters trip the norm bound when one is set.
+  auto huge = update_for(*zm.model, spec, 1e6f, 0.5, 10);
+  EXPECT_EQ(validate_update(*zm.model, huge), UpdateVerdict::kOk);
+  EXPECT_EQ(validate_update(*zm.model, huge, /*norm_bound_rms=*/100.0),
+            UpdateVerdict::kNormBound);
+  EXPECT_EQ(validate_update(*zm.model, ok, /*norm_bound_rms=*/100.0),
+            UpdateVerdict::kOk);
+}
+
+TEST(Aggregation, QuarantinesNaNUpdateWithoutCorruptingCloud) {
+  auto zm = make_cloud();
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto good = update_for(*zm.model, spec, 2.0f, 0.5, 50);
+  auto bad = update_for(*zm.model, spec, 2.0f, 0.5, 50);
+  for (auto& layer : bad.module_states) {
+    for (auto& state : layer) {
+      std::fill(state.begin(), state.end(), std::nanf(""));
+    }
+  }
+  aggregate_module_wise(*zm.model, {good, bad});
+  // Only the good update lands: the module is exactly 2, not NaN.
+  for (float v : zm.model->module_state(0, 0)) EXPECT_FLOAT_EQ(v, 2.0f);
+  for (float v : zm.model->shared_state()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Aggregation, QuarantinesSizeMismatchedUpdate) {
+  auto zm = make_cloud();
+  const auto before = zm.model->module_state(0, 0);
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto bad = update_for(*zm.model, spec, 5.0f, 0.5, 50);
+  bad.module_states[0][0].resize(bad.module_states[0][0].size() / 2);
+  // Formerly a mid-aggregation NEBULA_CHECK throw (partial mutation hazard);
+  // now the malformed update is skipped and nothing changes.
+  aggregate_module_wise(*zm.model, {bad});
+  EXPECT_EQ(zm.model->module_state(0, 0), before);
+}
+
+TEST(Aggregation, AllInvalidUpdatesIsNoOp) {
+  auto zm = make_cloud();
+  const auto shared_before = zm.model->shared_state();
+  const auto mod_before = zm.model->module_state(0, 0);
+  SubmodelSpec spec;
+  spec.modules = {{0}};
+  auto bad1 = update_for(*zm.model, spec, 1.0f, 0.5, 50);
+  bad1.shared_state[0] = std::nanf("");
+  auto bad2 = update_for(*zm.model, spec, 1.0f, 0.5, 50);
+  bad2.num_samples = 0;
+  aggregate_module_wise(*zm.model, {bad1, bad2});
+  EXPECT_EQ(zm.model->shared_state(), shared_before);
+  EXPECT_EQ(zm.model->module_state(0, 0), mod_before);
 }
 
 TEST(Aggregation, InvalidServerMixThrows) {

@@ -2,6 +2,8 @@
 // local/no adaptation, AdaptiveNet-like branch selection.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/fedavg.h"
 #include "baselines/heterofl.h"
 #include "baselines/nested.h"
@@ -110,6 +112,50 @@ TEST_F(FleetFixture, FedAvgRoundImprovesAndCountsComm) {
   float acc = 0;
   for (int k = 0; k < 4; ++k) acc += fa.eval_device(k, 96);
   EXPECT_GT(acc / 4, 0.5f);
+}
+
+TEST_F(FleetFixture, FedAvgHasNoFaultDefences) {
+  // The contrast case for the fault sweep: FedAvg silently loses dropped
+  // devices and averages corrupted uploads straight into the global model.
+  init::reseed(612);
+  FedAvgConfig cfg;
+  cfg.devices_per_round = 4;
+  FedAvg fa(make_plain_mlp(32, 6, 1.0), *pop_, cfg);
+  TrainConfig pre;
+  pre.epochs = 2;
+  fa.pretrain(proxy_, pre);
+
+  // Total dropout: the round runs but nothing is uploaded or averaged.
+  FaultConfig all_drop;
+  all_drop.dropout_prob = 1.0;
+  all_drop.seed = 13;
+  FaultInjector drop_inj(all_drop);
+  fa.set_fault_injector(&drop_inj);
+  const auto before = get_state(fa.global());
+  auto participants = fa.round();
+  EXPECT_EQ(participants.size(), 4u);
+  EXPECT_EQ(get_state(fa.global()), before);
+  EXPECT_EQ(fa.ledger().download_bytes(), 0);
+
+  // Guaranteed corruption: with no validation the global model is poisoned.
+  FaultConfig corrupt;
+  corrupt.corruption_prob = 1.0;
+  corrupt.seed = 14;
+  FaultInjector corrupt_inj(corrupt);
+  fa.set_fault_injector(&corrupt_inj);
+  bool poisoned = false;
+  for (int r = 0; r < 3 && !poisoned; ++r) {
+    fa.round();
+    for (float v : get_state(fa.global())) {
+      if (!std::isfinite(v)) {
+        poisoned = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(poisoned) << "NaN uploads should destroy an unvalidated "
+                           "global average within a few rounds";
+  fa.set_fault_injector(nullptr);
 }
 
 TEST_F(FleetFixture, HeteroFLTiersShrinkWithCapacity) {

@@ -2,10 +2,13 @@
 // small fleet, ledger accounting, ablation switches.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "core/nebula.h"
 #include "nn/init.h"
+#include "nn/serialize.h"
 
 namespace nebula {
 namespace {
@@ -60,10 +63,19 @@ TEST(NebulaSystem, RoundTrainsAndAccountsComm) {
   SmallWorld world;
   auto sys = world.make_system();
   sys.offline(world.proxy);
-  const auto participants = sys.round();
-  EXPECT_EQ(participants.size(), 4u);
+  const RoundReport report = sys.round();
+  EXPECT_EQ(report.participants.size(), 4u);
+  // Fair-weather round: everyone completes, nothing dropped or rejected.
+  EXPECT_EQ(report.completed, report.participants);
+  EXPECT_TRUE(report.dropped.empty());
+  EXPECT_TRUE(report.straggled.empty());
+  EXPECT_TRUE(report.rejected.empty());
+  EXPECT_EQ(report.transfer_retries, 0);
+  EXPECT_TRUE(report.aggregated);
+  EXPECT_GT(report.wall_time_s, 0.0);
   EXPECT_GT(sys.ledger().download_bytes(), 0);
   EXPECT_GT(sys.ledger().upload_bytes(), 0);
+  EXPECT_EQ(sys.ledger().overhead_bytes(), 0);
   // Upload excludes the selector, so it is strictly smaller than download
   // on the first contact.
   EXPECT_LT(sys.ledger().upload_bytes(), sys.ledger().download_bytes());
@@ -74,7 +86,11 @@ TEST(NebulaSystem, SelectorDownloadedOncePerDevice) {
   auto sys = world.make_system();
   sys.offline(world.proxy);
   const SubmodelSpec spec = sys.derive(0).spec;
+  // download_bytes is a pure size computation: until a transfer succeeds
+  // the selector stays uncached and keeps being counted.
   const std::int64_t first = sys.download_bytes(spec, 0);
+  EXPECT_EQ(sys.download_bytes(spec, 0), first);
+  sys.mark_selector_cached(0);
   const std::int64_t second = sys.download_bytes(spec, 0);
   EXPECT_EQ(first - second, sys.selector().state_size() * 4);
 }
@@ -166,6 +182,80 @@ TEST(NebulaSystem, CheckpointRoundTrip) {
   EXPECT_FLOAT_EQ(acc_a, acc_b);
   std::remove(path.c_str());
   EXPECT_THROW(fresh.load_cloud(path), std::runtime_error);
+}
+
+TEST(NebulaSystem, LoadCloudRejectsTruncatedCheckpoint) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  const std::string path =
+      std::string(::testing::TempDir()) + "truncated.neb";
+  sys.save_cloud(path);
+  const std::vector<float> blob = load_state_file(path);
+  const auto before_shared = sys.cloud().shared_state();
+
+  // A well-formed state file that is simply too short for this architecture
+  // (e.g. checkpoint from a smaller model) must be rejected up-front.
+  save_state_file(path,
+                  std::vector<float>(blob.begin(), blob.end() - 5));
+  EXPECT_THROW(sys.load_cloud(path), std::runtime_error);
+  // The failed load must not have half-applied anything.
+  EXPECT_EQ(sys.cloud().shared_state(), before_shared);
+
+  // A physically chopped file (header promises more floats than the file
+  // holds — a crash mid-write) must throw at the serialisation layer.
+  save_state_file(path, blob);
+  const long full_size =
+      8 + 8 + static_cast<long>(blob.size()) * 4;  // magic + count + payload
+  ASSERT_EQ(truncate(path.c_str(), full_size / 2), 0);
+  EXPECT_THROW(sys.load_cloud(path), std::runtime_error);
+  EXPECT_EQ(sys.cloud().shared_state(), before_shared);
+  std::remove(path.c_str());
+}
+
+TEST(NebulaSystem, LoadCloudRejectsTrailingData) {
+  SmallWorld world;
+  auto sys = world.make_system();
+  const std::string path = std::string(::testing::TempDir()) + "trailing.neb";
+  sys.save_cloud(path);
+  std::vector<float> blob = load_state_file(path);
+  blob.push_back(1.0f);  // one float too many
+  save_state_file(path, blob);
+  const auto before_shared = sys.cloud().shared_state();
+  EXPECT_THROW(sys.load_cloud(path), std::runtime_error);
+  EXPECT_EQ(sys.cloud().shared_state(), before_shared);
+  std::remove(path.c_str());
+}
+
+TEST(NebulaSystem, SaveCrashLoadRecoveryResumesTraining) {
+  // The "survives process restarts" promise: train, checkpoint, simulate a
+  // crash by abandoning the process state, restore into a fresh system and
+  // keep training productively.
+  SmallWorld world;
+  const std::string path = std::string(::testing::TempDir()) + "recovery.neb";
+  {
+    auto sys = world.make_system();
+    sys.offline(world.proxy);
+    sys.round();
+    sys.save_cloud(path);
+    // Crash: `sys` (cloud model, resident sub-models, RNG state) is lost.
+  }
+  SmallWorld world2;
+  auto restored = world2.make_system();
+  restored.load_cloud(path);
+  double before = 0.0;
+  for (int k = 0; k < 4; ++k) before += restored.eval_derived(k, 160);
+  // Resumed collaborative training must still work and not collapse.
+  for (int r = 0; r < 3; ++r) {
+    const RoundReport rep = restored.round();
+    EXPECT_TRUE(rep.aggregated);
+  }
+  double after = 0.0;
+  for (int k = 0; k < 4; ++k) after += restored.eval_derived(k, 160);
+  EXPECT_GT(after, before - 0.15)
+      << "recovered system lost accuracy: " << before / 4 << " -> "
+      << after / 4;
+  EXPECT_GT(after / 4, 0.5);
+  std::remove(path.c_str());
 }
 
 TEST(NebulaSystem, ProfileCountMismatchThrows) {

@@ -150,5 +150,59 @@ TEST(CommLedger, AccumulatesAndResets) {
   EXPECT_THROW(ledger.record_download(-1), std::runtime_error);
 }
 
+TEST(CommLedger, SeparatesGoodputFromFaultOverhead) {
+  CommLedger ledger;
+  // Two failed download attempts, then success; one failed upload attempt.
+  ledger.record_failed_download(1000);
+  ledger.record_failed_download(1000);
+  ledger.record_download(1000);
+  ledger.record_failed_upload(500);
+  ledger.record_upload(500);
+
+  // Goodput counters see only the successful transfers...
+  EXPECT_EQ(ledger.download_bytes(), 1000);
+  EXPECT_EQ(ledger.upload_bytes(), 500);
+  EXPECT_EQ(ledger.total_bytes(), 1500);
+  // ...while the waste is tracked separately.
+  EXPECT_EQ(ledger.wasted_download_bytes(), 2000);
+  EXPECT_EQ(ledger.wasted_upload_bytes(), 500);
+  EXPECT_EQ(ledger.overhead_bytes(), 2500);
+  EXPECT_EQ(ledger.total_bytes_with_overhead(), 4000);
+  EXPECT_NEAR(ledger.overhead_mb(), 2500.0 / (1024 * 1024), 1e-12);
+  // Every attempt (failed or not) counts as an attempt.
+  EXPECT_EQ(ledger.download_attempts(), 3);
+  EXPECT_EQ(ledger.upload_attempts(), 2);
+  EXPECT_EQ(ledger.failed_attempts(), 3);
+
+  ledger.reset();
+  EXPECT_EQ(ledger.overhead_bytes(), 0);
+  EXPECT_EQ(ledger.download_attempts(), 0);
+  EXPECT_EQ(ledger.upload_attempts(), 0);
+  EXPECT_EQ(ledger.failed_attempts(), 0);
+  EXPECT_THROW(ledger.record_failed_upload(-1), std::runtime_error);
+}
+
+TEST_F(CostModelTest, DegradedLinkStretchesTransferTime) {
+  auto pi = DeviceProfile::raspberry_pi();
+  const double full = CostModel::transfer_time_s(1'000'000, pi);
+  const double degraded =
+      CostModel::transfer_time_s(1'000'000, pi, /*bandwidth_factor=*/0.25);
+  EXPECT_NEAR(degraded, 4.0 * full, 1e-9);
+  EXPECT_THROW(CostModel::transfer_time_s(1'000'000, pi, 0.0),
+               std::runtime_error);
+  EXPECT_THROW(CostModel::transfer_time_s(1'000'000, pi, 1.5),
+               std::runtime_error);
+}
+
+TEST_F(CostModelTest, ComputeTimeScalesWithSlowdown) {
+  auto pi = DeviceProfile::raspberry_pi();
+  const double flops = CostModel::forward_flops(*model_, {3, 8, 8});
+  const double base = CostModel::compute_time_s(flops, pi);
+  const double straggling = CostModel::compute_time_s(flops, pi, 6.0);
+  EXPECT_GT(base, 0.0);
+  EXPECT_NEAR(straggling, 6.0 * base, 1e-9);
+  EXPECT_THROW(CostModel::compute_time_s(flops, pi, 0.5), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace nebula
