@@ -1,0 +1,56 @@
+// Per-figure experiment wall-times for the perf trajectory.
+//
+// Runs reduced-scale versions of the paper's figure experiments (Table 1
+// adaptation comparison, the fault sweep) and prints the metrics registry as
+// JSON on stdout. tools/perf_trajectory.py --experiments-bin extracts the
+// `experiment.*.wall_s` gauges into BENCH_experiments.json, giving every PR a
+// before/after trajectory for whole-figure wall time — the end-to-end
+// counterpart of the kernel microbenchmarks in BENCH_kernels.json.
+//
+// Human-readable progress goes to stderr so stdout stays machine-parseable.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "eval/experiments.h"
+#include "obs/metrics.h"
+
+int main() {
+  using namespace nebula;
+
+  BenchScale scale = BenchScale::from_env();
+  // Wall-time harness, not an accuracy run: clamp the scale so the suite
+  // finishes in minutes on one core. NEBULA_BENCH_SCALE still shrinks it.
+  scale.devices = std::min<std::int64_t>(scale.devices, 20);
+  scale.devices_per_round = std::min<std::int64_t>(scale.devices_per_round, 5);
+  scale.warm_rounds = std::min<std::int64_t>(scale.warm_rounds, 3);
+  scale.eval_devices = std::min<std::int64_t>(scale.eval_devices, 6);
+  scale.test_samples = std::min<std::int64_t>(scale.test_samples, 64);
+  scale.pretrain_epochs = std::min<std::int64_t>(scale.pretrain_epochs, 4);
+
+  const TaskSpec spec = task_by_name("HAR", "1 subject");
+
+  std::fprintf(stderr, "figure: Table 1 adaptation (HAR / 1 subject)…\n");
+  {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/9100);
+    run_adaptation_comparison(env, scale, /*seed=*/9200);
+  }
+
+  std::fprintf(stderr, "figure: fault sweep cell (HAR, 30%% dropout)…\n");
+  {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/9300);
+    FaultConfig fc;
+    fc.dropout_prob = 0.3;
+    fc.straggler_prob = 0.1;
+    fc.transfer_failure_prob = 0.05;
+    fc.seed = 9400;
+    run_fault_comparison(env, scale, fc, /*seed=*/9500);
+  }
+
+  for (const auto& [name, wall_s] :
+       obs::MetricsRegistry::instance().gauges_with_prefix("experiment.")) {
+    std::fprintf(stderr, "  %-48s %8.2f s\n", name.c_str(), wall_s);
+  }
+  obs::MetricsRegistry::instance().write_json(std::cout);
+  return 0;
+}

@@ -43,6 +43,9 @@ int main() {
     fc.degraded_link_prob = p > 0.0 ? 0.1 : 0.0;
     fc.seed = 7200 + static_cast<std::uint64_t>(p * 100);
     FaultSweepResult r = run_fault_comparison(env, scale, fc, 7300);
+    for (const RoundReport& rep : r.round_reports) {
+      std::printf("  %s\n", rep.summary().c_str());
+    }
     dropout_table.add_row({Table::num(p * 100, 0) + "%",
                            Table::num(r.nebula_acc * 100, 2),
                            Table::num(r.fedavg_acc * 100, 2),
@@ -64,6 +67,9 @@ int main() {
     fc.corruption_prob = p;
     fc.seed = 7500 + static_cast<std::uint64_t>(p * 100);
     FaultSweepResult r = run_fault_comparison(env, scale, fc, 7600);
+    for (const RoundReport& rep : r.round_reports) {
+      std::printf("  %s\n", rep.summary().c_str());
+    }
     corrupt_table.add_row(
         {Table::num(p * 100, 0) + "%", Table::num(r.nebula_acc * 100, 2),
          Table::num(r.fedavg_acc * 100, 2),

@@ -38,12 +38,13 @@ int main() {
               nebula.cloud().num_module_layers(),
               ability ? "learned" : "disabled");
 
-  // 3. Online collaborative adaptation.
+  // 3. Online collaborative adaptation. Each round prints its telemetry
+  //    digest; run with NEBULA_TRACE=trace.json / NEBULA_METRICS=metrics.json
+  //    / NEBULA_EVENTS=rounds.jsonl to capture the full picture.
   for (int round = 0; round < 5; ++round) {
     RoundReport report = nebula.round();
-    std::printf("round %d: %zu devices participated, %.2f MB transferred so "
-                "far\n",
-                round, report.participants.size(), nebula.ledger().total_mb());
+    std::printf("%s (%.2f MB total)\n", report.summary().c_str(),
+                nebula.ledger().total_mb());
   }
 
   // 4. Personalized sub-model for device 0.

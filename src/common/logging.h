@@ -1,11 +1,24 @@
 // Minimal leveled logger. Experiments log progress at Info; the test suite
 // raises the threshold to Warn to keep ctest output readable.
+//
+// Lines carry a monotonic timestamp (seconds since the logger first woke up)
+// and the dense thread tag from common/sink.h, so log lines line up with
+// trace events and JSONL round events from the obs layer. The threshold can
+// be set at startup via NEBULA_LOG_LEVEL (debug|info|warn|error or 0-3), and
+// output routes through the same LineSink abstraction the JSONL event writer
+// uses — point both at a file to interleave them.
 #pragma once
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/sink.h"
 
 namespace nebula {
 
@@ -21,18 +34,56 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Replaces the output sink (default: stderr). Null restores stderr.
+  void set_sink(std::shared_ptr<LineSink> sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = sink ? std::move(sink) : std::make_shared<StderrSink>();
+  }
+
+  /// Monotonic seconds since the logger was first touched.
+  double uptime_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
   void log(LogLevel level, const std::string& msg) {
     if (level < level_) return;
     static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-    std::lock_guard<std::mutex> lock(mu_);
-    std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)],
-                 msg.c_str());
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[%10.3f] [t%02u] [%s] ",
+                  uptime_s(), thread_tag(),
+                  names[static_cast<int>(level)]);
+    std::shared_ptr<LineSink> sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sink = sink_;
+    }
+    sink->write_line(prefix + msg);
+  }
+
+  /// Parses a NEBULA_LOG_LEVEL value; returns `fallback` when unparseable.
+  static LogLevel parse_level(const std::string& text, LogLevel fallback) {
+    std::string s;
+    for (char c : text) s.push_back(static_cast<char>(std::tolower(c)));
+    if (s == "debug" || s == "0") return LogLevel::kDebug;
+    if (s == "info" || s == "1") return LogLevel::kInfo;
+    if (s == "warn" || s == "warning" || s == "2") return LogLevel::kWarn;
+    if (s == "error" || s == "3") return LogLevel::kError;
+    return fallback;
   }
 
  private:
-  Logger() = default;
+  Logger() : start_(std::chrono::steady_clock::now()) {
+    sink_ = std::make_shared<StderrSink>();
+    if (const char* env = std::getenv("NEBULA_LOG_LEVEL")) {
+      level_ = parse_level(env, level_);
+    }
+  }
   LogLevel level_ = LogLevel::kInfo;
-  std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;  // guards sink_ swaps; sinks serialise their own writes
+  std::shared_ptr<LineSink> sink_;
 };
 
 namespace detail {

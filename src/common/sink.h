@@ -1,0 +1,78 @@
+// Line-oriented output sinks shared by the logger (common/logging.h) and the
+// structured JSONL event writers (obs/events.h). One abstraction so a run can
+// point both human-readable logs and machine-readable events at stderr, a
+// file, or a test capture buffer interchangeably.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace nebula {
+
+/// Small dense id for the calling thread, assigned on first use (0, 1, 2, …
+/// in first-touch order). Stable for the thread's lifetime; used as the
+/// `tid` of log prefixes and trace events so they can be correlated.
+inline std::uint32_t thread_tag() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tag =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+/// A destination for complete text lines. Implementations must be safe to
+/// call from multiple threads.
+class LineSink {
+ public:
+  virtual ~LineSink() = default;
+  virtual void write_line(const std::string& line) = 0;
+  virtual void flush() {}
+};
+
+/// Default sink: one line per write to stderr.
+class StderrSink : public LineSink {
+ public:
+  void write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Appends lines to a file (truncates on open). `ok()` reports whether the
+/// open succeeded; writes to a failed sink are dropped silently.
+class FileSink : public LineSink {
+ public:
+  explicit FileSink(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+  ~FileSink() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void write_line(const std::string& line) override {
+    if (file_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+  }
+
+  void flush() override {
+    if (file_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_;
+  std::mutex mu_;
+};
+
+}  // namespace nebula

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nebula {
 
 namespace {
@@ -107,6 +110,9 @@ void aggregate_module_wise(ModularModel& cloud,
                            const std::vector<EdgeUpdate>& updates,
                            AggregationWeighting weighting, float server_mix) {
   NEBULA_CHECK(server_mix > 0.0f && server_mix <= 1.0f);
+  NEBULA_SPAN("aggregation.module_wise");
+  static obs::Counter& m_updates = obs::counter("aggregation.updates");
+  static obs::Counter& m_quarantined = obs::counter("aggregation.quarantined");
   // Quarantine anything structurally wrong or non-finite *before* touching a
   // single cloud parameter, so a bad upload can never leave the cloud model
   // half-mutated or poisoned.
@@ -115,6 +121,8 @@ void aggregate_module_wise(ModularModel& cloud,
   for (const auto& up : updates) {
     if (validate_update(cloud, up) == UpdateVerdict::kOk) valid.push_back(&up);
   }
+  m_updates.add(static_cast<std::int64_t>(valid.size()));
+  m_quarantined.add(static_cast<std::int64_t>(updates.size() - valid.size()));
   if (valid.empty()) return;
   const std::size_t l_count = cloud.num_module_layers();
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nebula {
 
 namespace {
@@ -58,6 +61,9 @@ DerivationResult SubmodelDerivation::derive(
     const DerivationRequest& request) const {
   NEBULA_CHECK_MSG(request.importance.size() == costs_.size(),
                    "importance must cover every module layer");
+  NEBULA_SPAN("derivation.derive");
+  static obs::Counter& m_calls = obs::counter("derivation.calls");
+  m_calls.add(1);
 
   // Net budgets after the always-present shared components.
   const auto shared_cost = cost_vector(shared_);
@@ -123,6 +129,10 @@ DerivationResult SubmodelDerivation::derive(
   for (std::size_t j = 0; j < kResourceDims; ++j) {
     out.used[j] = kres.used[j] + shared_cost[j];
     if (out.used[j] > request.budgets[j] + 1e-9) out.within_budget = false;
+  }
+  if (!out.within_budget) {
+    static obs::Counter& m_over = obs::counter("derivation.over_budget");
+    m_over.add(1);
   }
   return out;
 }

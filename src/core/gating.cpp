@@ -1,7 +1,10 @@
 #include "core/gating.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace nebula {
@@ -30,6 +33,9 @@ GateResult ModuleSelector::forward(const Tensor& x_flat, bool train) {
   NEBULA_CHECK_MSG(x_flat.rank() == 2 && x_flat.dim(1) == input_dim_,
                    "selector expects flattened input (B, " << input_dim_
                                                            << ")");
+  NEBULA_SPAN("selector.forward");
+  static obs::Counter& m_fwd = obs::counter("selector.forwards");
+  m_fwd.add(1);
   Tensor h = embed_.forward(x_flat, train);
   GateResult out;
   out.logits.reserve(heads_.size());
@@ -167,6 +173,8 @@ float load_balance_loss(const Tensor& probs, Tensor* grad) {
   // Rows of `probs` sum to 1, so s == b > 0.
   const double nn = static_cast<double>(n);
   const float loss = static_cast<float>(nn * q / (s * s) - 1.0);
+  static obs::Gauge& m_lb = obs::gauge("selector.load_balance_loss");
+  m_lb.set(loss);
   if (grad != nullptr) {
     NEBULA_CHECK(grad->dim(0) == b && grad->dim(1) == n);
     // dL/dimp_i = 2N (imp_i s − q) / s³ ; dimp_i/dprobs[b,i] = 1.
@@ -182,6 +190,34 @@ float load_balance_loss(const Tensor& probs, Tensor* grad) {
     }
   }
   return loss;
+}
+
+std::vector<SelectorRoutingStats> selector_routing_stats(
+    ModuleSelector& selector, const Tensor& x_flat, std::int64_t top_k) {
+  NEBULA_SPAN("selector.routing_stats");
+  GateResult gates = selector.forward(x_flat, /*train=*/false);
+  const std::int64_t b = x_flat.dim(0);
+  NEBULA_CHECK(b > 0);
+  std::vector<SelectorRoutingStats> out(selector.num_layers());
+  for (std::size_t l = 0; l < selector.num_layers(); ++l) {
+    const Tensor& p = gates.probs[l];
+    const std::int64_t n = p.dim(1);
+    const std::int64_t k = std::clamp<std::int64_t>(top_k, 1, n);
+    std::vector<double> soft(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> slots(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t r = 0; r < b; ++r) {
+      const float* row = p.data() + r * n;
+      for (std::int64_t i = 0; i < n; ++i) {
+        soft[static_cast<std::size_t>(i)] += row[i];
+      }
+      for (std::int64_t i : topk_indices(row, n, k)) {
+        slots[static_cast<std::size_t>(i)] += 1.0;
+      }
+    }
+    out[l].soft = obs::routing_stats(soft);
+    out[l].topk = obs::routing_stats(slots);
+  }
+  return out;
 }
 
 }  // namespace nebula

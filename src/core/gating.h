@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "nn/layers_basic.h"
 #include "nn/sequential.h"
+#include "obs/routing.h"
 
 namespace nebula {
 
@@ -88,5 +89,24 @@ class ModuleSelector {
 /// balanced. Returns the loss and writes dL/dprobs into `grad` (same shape
 /// as probs) if non-null.
 float load_balance_loss(const Tensor& probs, Tensor* grad);
+
+// ---- Routing observability ---------------------------------------------------
+
+/// Per-layer routing statistics for one module layer of the selector.
+struct SelectorRoutingStats {
+  /// Soft view: utilisation = mean gate probability per module — the same
+  /// quantity the load-balance loss regularises, summarised as a
+  /// distribution.
+  obs::RoutingStats soft;
+  /// Hard view: utilisation = each module's share of the batch's top-k
+  /// routing slots — what actually executes at inference time.
+  obs::RoutingStats topk;
+};
+
+/// Runs the selector in eval mode over `x_flat` and summarises routing per
+/// layer. `top_k` mirrors the ModuleLayer activation count and is clamped to
+/// each layer's width. Does not disturb training caches.
+std::vector<SelectorRoutingStats> selector_routing_stats(
+    ModuleSelector& selector, const Tensor& x_flat, std::int64_t top_k);
 
 }  // namespace nebula

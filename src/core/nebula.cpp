@@ -2,10 +2,81 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "nn/serialize.h"
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/routing.h"
+#include "obs/trace.h"
 
 namespace nebula {
+
+namespace {
+
+// One JSONL object per round, written only when a sink is attached
+// (NEBULA_EVENTS=rounds.jsonl or a test capture sink).
+void emit_round_event(const RoundReport& rep) {
+  obs::EventLog& log = obs::EventLog::instance();
+  if (!log.enabled()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("round");
+  w.key("round").value(rep.round_index);
+  w.key("participants").int_array(rep.participants);
+  w.key("completed").int_array(rep.completed);
+  w.key("dropped").int_array(rep.dropped);
+  w.key("straggled").int_array(rep.straggled);
+  w.key("rejected").int_array(rep.rejected);
+  w.key("staleness_weights").number_array(rep.staleness_weights);
+  w.key("transfer_retries").value(rep.transfer_retries);
+  w.key("goodput_bytes").value(rep.goodput_bytes);
+  w.key("overhead_bytes").value(rep.overhead_bytes);
+  w.key("attempted_bytes").value(rep.attempted_bytes);
+  w.key("routing_entropy").value(rep.routing_entropy);
+  w.key("routing_imbalance").value(rep.routing_imbalance);
+  w.key("phases").begin_object();
+  w.key("derive_s").value(rep.host_phases.derive_s);
+  w.key("train_s").value(rep.host_phases.train_s);
+  w.key("validate_s").value(rep.host_phases.validate_s);
+  w.key("aggregate_s").value(rep.host_phases.aggregate_s);
+  w.key("total_s").value(rep.host_phases.total_s);
+  w.end_object();
+  w.key("wall_time_s").value(rep.wall_time_s);
+  w.key("aggregated").value(rep.aggregated);
+  w.end_object();
+  log.emit(w.str());
+}
+
+void emit_quarantine_event(std::int64_t round_idx, std::int64_t device,
+                           UpdateVerdict verdict) {
+  obs::EventLog& log = obs::EventLog::instance();
+  if (!log.enabled()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("quarantine");
+  w.key("round").value(round_idx);
+  w.key("device").value(device);
+  w.key("verdict").value(update_verdict_name(verdict));
+  w.end_object();
+  log.emit(w.str());
+}
+
+}  // namespace
+
+std::string RoundReport::summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "round %lld: %zu/%zu completed (%zu dropped, %zu straggled, "
+      "%zu rejected, %lld retries) wall %.2fs entropy %.2f %s",
+      static_cast<long long>(round_index), completed.size(),
+      participants.size(), dropped.size(), straggled.size(), rejected.size(),
+      static_cast<long long>(transfer_retries), wall_time_s, routing_entropy,
+      aggregated ? "aggregated" : "no-quorum");
+  return buf;
+}
 
 NebulaSystem::NebulaSystem(ZooModel cloud, EdgePopulation& pop,
                            std::vector<DeviceProfile> profiles,
@@ -42,11 +113,21 @@ std::vector<std::int64_t> NebulaSystem::proxy_subtasks(
 }
 
 std::optional<AbilityResult> NebulaSystem::offline(const SyntheticData& proxy) {
-  train_modular(*cloud_, *selector_, proxy.data, cfg_.pretrain);
+  NEBULA_SPAN("nebula.offline");
+  obs::WallTimer timer;
+  {
+    NEBULA_SPAN("offline.pretrain");
+    train_modular(*cloud_, *selector_, proxy.data, cfg_.pretrain);
+  }
+  obs::gauge("offline.pretrain_s").set(timer.elapsed_s());
   if (!cfg_.enable_ability) return std::nullopt;
+  NEBULA_SPAN("offline.ability");
+  obs::WallTimer ability_timer;
   const auto subtasks = proxy_subtasks(proxy);
-  return enhance_ability(*cloud_, *selector_, proxy.data, subtasks,
-                         pop_.num_contexts(), cfg_.ability);
+  auto result = enhance_ability(*cloud_, *selector_, proxy.data, subtasks,
+                                pop_.num_contexts(), cfg_.ability);
+  obs::gauge("offline.ability_s").set(ability_timer.elapsed_s());
+  return result;
 }
 
 std::vector<std::vector<double>> NebulaSystem::device_importance(
@@ -64,8 +145,13 @@ double NebulaSystem::budget_fraction_for(std::int64_t k) const {
 }
 
 DerivationResult NebulaSystem::derive(std::int64_t k) {
+  return derive_with(device_importance(k), k);
+}
+
+DerivationResult NebulaSystem::derive_with(
+    const std::vector<std::vector<double>>& importance, std::int64_t k) {
   DerivationRequest req;
-  req.importance = device_importance(k);
+  req.importance = importance;
   req.budgets = derivation_->budget_fraction(budget_fraction_for(k));
   return derivation_->derive(req);
 }
@@ -107,6 +193,9 @@ bool NebulaSystem::faulted_transfer(std::int64_t round_idx, std::int64_t k,
   const FaultPolicy& policy = cfg_.fault_policy;
   const int attempts = std::max(1, policy.max_transfer_attempts);
   for (int a = 0; a < attempts; ++a) {
+    // Counted per attempt, independently of the ledger's goodput/waste
+    // split — round() checks the two paths agree.
+    report.attempted_bytes += bytes;
     wall_s +=
         CostModel::transfer_time_s(bytes, profile(k), fate.bandwidth_factor);
     const bool fails =
@@ -158,9 +247,15 @@ void NebulaSystem::apply_corruption(EdgeUpdate& up, CorruptionKind kind,
 }
 
 RoundReport NebulaSystem::round() {
+  NEBULA_SPAN("nebula.round");
   const std::int64_t round_idx = round_index_++;
   const FaultPolicy& policy = cfg_.fault_policy;
   RoundReport rep;
+  rep.round_index = round_idx;
+  obs::WallTimer round_timer;
+  // Ledger snapshot; the report carries this round's deltas.
+  const std::int64_t goodput0 = ledger_.total_bytes();
+  const std::int64_t overhead0 = ledger_.overhead_bytes();
   const std::int64_t n = pop_.num_devices();
   const std::int64_t m = std::min(cfg_.devices_per_round, n);
   auto pick = rng_.choose(static_cast<std::size_t>(n),
@@ -168,6 +263,8 @@ RoundReport NebulaSystem::round() {
   std::vector<EdgeUpdate> updates;
   double round_wall_s = 0.0;
   bool straggler_cut = false;
+  double entropy_sum = 0.0, imbalance_sum = 0.0;
+  std::int64_t routing_samples = 0;
   for (std::size_t i = 0; i < pick.size(); ++i) {
     const std::int64_t k = static_cast<std::int64_t>(pick[i]);
     rep.participants.push_back(k);
@@ -178,7 +275,22 @@ RoundReport NebulaSystem::round() {
       continue;
     }
 
-    DerivationResult der = derive(k);
+    obs::WallTimer derive_timer;
+    DerivationResult der;
+    {
+      NEBULA_SPAN("round.derive");
+      const auto importance = device_importance(k);
+      der = derive_with(importance, k);
+      // Soft routing view over this participant's importance scores,
+      // averaged per layer; accumulated into the round report.
+      for (const auto& layer : importance) {
+        const obs::RoutingStats rs = obs::routing_stats(layer);
+        entropy_sum += rs.normalized_entropy;
+        imbalance_sum += rs.imbalance;
+        ++routing_samples;
+      }
+    }
+    rep.host_phases.derive_s += derive_timer.elapsed_s();
     const std::int64_t dl_bytes = download_bytes(der.spec, k);
     double wall_s = 0.0;
     if (!faulted_transfer(round_idx, k, /*transfer_idx=*/0, dl_bytes, fate,
@@ -189,8 +301,14 @@ RoundReport NebulaSystem::round() {
     ledger_.record_download(dl_bytes);
     mark_selector_cached(k);
 
+    obs::WallTimer train_timer;
     auto submodel = cloud_->derive_submodel(der.spec);
-    EdgeUpdate up = train_and_pack(k, *submodel);
+    EdgeUpdate up;
+    {
+      NEBULA_SPAN("round.train");
+      up = train_and_pack(k, *submodel);
+    }
+    rep.host_phases.train_s += train_timer.elapsed_s();
     const double train_flops =
         3.0 * static_cast<double>(submodel->forward_flops(cfg_.top_k)) *
         static_cast<double>(pop_.local_data(k).size()) *
@@ -220,6 +338,8 @@ RoundReport NebulaSystem::round() {
 
     if (policy.round_deadline_s > 0.0 && wall_s > policy.round_deadline_s) {
       rep.straggled.push_back(k);
+      rep.staleness_weights.push_back(
+          static_cast<double>(policy.staleness_factor));
       if (policy.staleness_factor <= 0.0f) {
         straggler_cut = true;  // server closed the round without it
         continue;
@@ -234,10 +354,16 @@ RoundReport NebulaSystem::round() {
                  policy.staleness_factor)));
     }
 
-    const UpdateVerdict verdict =
-        validate_update(*cloud_, up, policy.norm_bound_rms);
+    obs::WallTimer validate_timer;
+    UpdateVerdict verdict;
+    {
+      NEBULA_SPAN("round.validate");
+      verdict = validate_update(*cloud_, up, policy.norm_bound_rms);
+    }
+    rep.host_phases.validate_s += validate_timer.elapsed_s();
     if (verdict != UpdateVerdict::kOk) {
       rep.rejected.push_back(k);  // quarantined, never touches the cloud
+      emit_quarantine_event(round_idx, k, verdict);
       continue;
     }
 
@@ -250,9 +376,45 @@ RoundReport NebulaSystem::round() {
                         : round_wall_s;
   if (static_cast<std::int64_t>(updates.size()) >=
           std::max<std::int64_t>(1, policy.min_quorum)) {
-    aggregate_module_wise(*cloud_, updates, cfg_.weighting);
+    obs::WallTimer aggregate_timer;
+    {
+      NEBULA_SPAN("round.aggregate");
+      aggregate_module_wise(*cloud_, updates, cfg_.weighting);
+    }
+    rep.host_phases.aggregate_s += aggregate_timer.elapsed_s();
     rep.aggregated = true;
   }
+  rep.goodput_bytes = ledger_.total_bytes() - goodput0;
+  rep.overhead_bytes = ledger_.overhead_bytes() - overhead0;
+  // Conservation: every byte any attempt put on the wire landed in exactly
+  // one of the ledger's goodput or overhead columns.
+  NEBULA_CHECK_MSG(
+      rep.attempted_bytes == rep.goodput_bytes + rep.overhead_bytes,
+      "round " << round_idx << " traffic accounting leak: attempted "
+               << rep.attempted_bytes << " != goodput " << rep.goodput_bytes
+               << " + overhead " << rep.overhead_bytes);
+  if (routing_samples > 0) {
+    rep.routing_entropy = entropy_sum / static_cast<double>(routing_samples);
+    rep.routing_imbalance =
+        imbalance_sum / static_cast<double>(routing_samples);
+  }
+  rep.host_phases.total_s = round_timer.elapsed_s();
+
+  static obs::Counter& m_rounds = obs::counter("round.count");
+  static obs::Counter& m_completed = obs::counter("round.completed");
+  static obs::Counter& m_dropped = obs::counter("round.dropped");
+  static obs::Counter& m_rejected = obs::counter("round.rejected");
+  static obs::Counter& m_retries = obs::counter("round.transfer_retries");
+  m_rounds.add(1);
+  m_completed.add(static_cast<std::int64_t>(rep.completed.size()));
+  m_dropped.add(static_cast<std::int64_t>(rep.dropped.size()));
+  m_rejected.add(static_cast<std::int64_t>(rep.rejected.size()));
+  m_retries.add(rep.transfer_retries);
+  static obs::Gauge& m_entropy = obs::gauge("round.routing_entropy");
+  static obs::Gauge& m_imbalance = obs::gauge("round.routing_imbalance");
+  m_entropy.set(rep.routing_entropy);
+  m_imbalance.set(rep.routing_imbalance);
+  emit_round_event(rep);
   return rep;
 }
 

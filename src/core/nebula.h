@@ -55,19 +55,49 @@ struct FaultPolicy {
   double norm_bound_rms = 1e3;
 };
 
+/// Host wall-clock seconds spent in each phase of one round (measured on the
+/// coordinating process, not the simulated device clock).
+struct RoundPhaseTimes {
+  double derive_s = 0.0;     // importance scoring + knapsack derivation
+  double train_s = 0.0;      // local training + update packing
+  double validate_s = 0.0;   // server-side update validation
+  double aggregate_s = 0.0;  // module-wise aggregation
+  double total_s = 0.0;      // whole round() call
+};
+
 /// What happened in one collaborative round. Devices appear in exactly one
 /// of completed / dropped / rejected; `straggled` additionally lists devices
 /// that missed the deadline (kept down-weighted when the staleness policy
 /// allows, otherwise counted only here).
 struct RoundReport {
+  std::int64_t round_index = 0;            // monotonic across the system
   std::vector<std::int64_t> participants;  // sampled this round
   std::vector<std::int64_t> completed;     // update aggregated into the cloud
   std::vector<std::int64_t> dropped;       // dropout, crash, or dead link
   std::vector<std::int64_t> straggled;     // estimate exceeded the deadline
   std::vector<std::int64_t> rejected;      // quarantined by validation
   std::int64_t transfer_retries = 0;       // failed attempts that were retried
+  /// Staleness weight applied to each straggler that was kept (parallel to
+  /// `straggled`; 0 when the update was discarded).
+  std::vector<double> staleness_weights;
+  /// This round's CommLedger deltas. `attempted_bytes` is accumulated
+  /// independently, one add per transfer attempt, and round() checks
+  /// attempted == goodput + overhead — a genuine two-path conservation
+  /// check on the traffic accounting.
+  std::int64_t goodput_bytes = 0;
+  std::int64_t overhead_bytes = 0;
+  std::int64_t attempted_bytes = 0;
+  /// Selector routing over this round's derivations (soft view, averaged
+  /// over participants and layers): normalized entropy in [0,1] (1 =
+  /// uniform) and peak-to-mean imbalance in [1,N].
+  double routing_entropy = 0.0;
+  double routing_imbalance = 1.0;
+  RoundPhaseTimes host_phases;  // measured host time, not simulated time
   double wall_time_s = 0.0;  // estimated round wall time (slowest survivor)
   bool aggregated = false;   // quorum met and the cloud model was updated
+
+  /// One-line human-readable digest for CLI / bench output.
+  std::string summary() const;
 };
 
 struct NebulaConfig {
@@ -202,6 +232,11 @@ class NebulaSystem {
   };
 
   std::vector<std::int64_t> proxy_subtasks(const SyntheticData& proxy) const;
+  /// Derivation from pre-computed importance scores — round() scores each
+  /// participant once and reuses the result for both derivation and the
+  /// report's routing statistics.
+  DerivationResult derive_with(
+      const std::vector<std::vector<double>>& importance, std::int64_t k);
   EdgeUpdate train_and_pack(std::int64_t k, ModularModel& submodel);
   /// Runs one transfer (download/upload) with retry + capped exponential
   /// backoff. Returns success; accumulates wall time, ledger traffic

@@ -5,6 +5,8 @@
 
 #include "nn/init.h"
 #include "nn/state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nebula {
 
@@ -119,9 +121,20 @@ TaskEnv make_task_env(const TaskSpec& spec, const BenchScale& scale,
   return env;
 }
 
+// Task/partition names become metric-name segments ("1 subject" etc.), so
+// keep them token-shaped for grep/Prometheus-style tooling.
+static std::string metric_token(std::string s) {
+  for (char& c : s) {
+    if (c == ' ' || c == '/') c = '_';
+  }
+  return s;
+}
+
 AdaptationResult run_adaptation_comparison(TaskEnv& env,
                                            const BenchScale& scale,
                                            std::uint64_t seed) {
+  NEBULA_SPAN("experiment.adaptation");
+  obs::WallTimer wall;
   EdgePopulation& pop = *env.population;
   TrainConfig pre;
   pre.epochs = scale.pretrain_epochs;
@@ -216,6 +229,11 @@ AdaptationResult run_adaptation_comparison(TaskEnv& env,
   res.comm_mb_fa = fa.ledger().total_mb();
   res.comm_mb_hfl = hfl.ledger().total_mb();
   res.comm_mb_nebula = nebula.ledger().total_mb();
+  // Per-figure wall time: the perf-trajectory harness snapshots gauges with
+  // this prefix into BENCH_experiments.json.
+  obs::gauge("experiment.adaptation." + metric_token(env.spec.dataset_name) +
+             "." + metric_token(env.spec.partition_name) + ".wall_s")
+      .set(wall.elapsed_s());
   return res;
 }
 
@@ -238,6 +256,8 @@ bool model_state_finite(ModularModel& model) {
 FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
                                       const FaultConfig& faults,
                                       std::uint64_t seed) {
+  NEBULA_SPAN("experiment.faults");
+  obs::WallTimer wall;
   EdgePopulation& pop = *env.population;
   TrainConfig pre;
   pre.epochs = scale.pretrain_epochs;
@@ -272,11 +292,12 @@ FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
   const std::int64_t rounds = 2 * scale.warm_rounds;
   for (std::int64_t r = 0; r < rounds; ++r) {
     fa.round();
-    const RoundReport rep = sys.round();
+    RoundReport rep = sys.round();
     res.rounds_aggregated += rep.aggregated ? 1 : 0;
     res.updates_dropped += static_cast<std::int64_t>(rep.dropped.size());
     res.updates_rejected += static_cast<std::int64_t>(rep.rejected.size());
     res.transfer_retries += rep.transfer_retries;
+    res.round_reports.push_back(std::move(rep));
   }
 
   for (std::int64_t k = 0; k < eval_n; ++k) {
@@ -296,6 +317,9 @@ FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
   }
   res.nebula_goodput_mb = sys.ledger().total_mb();
   res.nebula_overhead_mb = sys.ledger().overhead_mb();
+  obs::gauge("experiment.faults." + metric_token(env.spec.dataset_name) +
+             "." + metric_token(env.spec.partition_name) + ".wall_s")
+      .set(wall.elapsed_s());
   return res;
 }
 

@@ -105,6 +105,9 @@ struct FaultSweepResult {
   std::int64_t transfer_retries = 0;
   double nebula_goodput_mb = 0.0;   // useful traffic
   double nebula_overhead_mb = 0.0;  // failed-transfer waste
+  /// Every Nebula round's full report, in order — benches print per-round
+  /// summaries and telemetry consumers aggregate across the sweep.
+  std::vector<RoundReport> round_reports;
 };
 
 /// Pretrains both systems on `env`, attaches `faults` to each, runs

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "nn/init.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
@@ -34,6 +36,9 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::int64_t oh = conv_out_size(h, k_, stride_, pad_);
   const std::int64_t ow = conv_out_size(w, k_, stride_, pad_);
   NEBULA_CHECK_MSG(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
+  NEBULA_SPAN("conv.fwd");
+  static obs::Counter& m_fwd = obs::counter("conv.fwd_calls");
+  m_fwd.add(1);
   if (train) {
     cached_input_ = x;
     in_shape_ = x.shape();
@@ -76,6 +81,9 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 Tensor Conv2d::backward(const Tensor& grad_out) {
   NEBULA_CHECK_MSG(!cached_input_.empty(),
                    "Conv2d::backward without forward(train=true)");
+  NEBULA_SPAN("conv.bwd");
+  static obs::Counter& m_bwd = obs::counter("conv.bwd_calls");
+  m_bwd.add(1);
   const std::int64_t n = in_shape_[0], h = in_shape_[2], w = in_shape_[3];
   const std::int64_t oh = conv_out_size(h, k_, stride_, pad_);
   const std::int64_t ow = conv_out_size(w, k_, stride_, pad_);

@@ -1,0 +1,45 @@
+#include "obs/events.h"
+
+#include <cstdlib>
+
+namespace nebula::obs {
+
+EventLog::EventLog() {
+  if (const char* env = std::getenv("NEBULA_EVENTS")) {
+    auto sink = std::make_shared<FileSink>(env);
+    if (sink->ok()) set_sink(std::move(sink));
+  }
+}
+
+EventLog& EventLog::instance() {
+  // Intentionally leaked (see MetricsRegistry::instance()); the FileSink
+  // flushes after every line, so no data is lost at exit.
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+namespace {
+// Static-init touch so the NEBULA_EVENTS env hook attaches its sink before
+// the first round, not at the first (skipped-while-disabled) emit call.
+[[maybe_unused]] const bool g_eventlog_boot = (EventLog::instance(), true);
+}  // namespace
+
+void EventLog::set_sink(std::shared_ptr<LineSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+  enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+void EventLog::emit(const std::string& json_line) {
+  std::shared_ptr<LineSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  if (sink) {
+    sink->write_line(json_line);
+    sink->flush();
+  }
+}
+
+}  // namespace nebula::obs

@@ -1,0 +1,44 @@
+// Structured JSONL event log for round telemetry.
+//
+// NebulaSystem::round() (and the fault path inside it) emit one JSON object
+// per line — participants, drops, retries, quarantines, staleness weights,
+// per-phase durations, ledger deltas and routing statistics. The log shares
+// the LineSink abstraction with common/logging.h, so events can go to a
+// file (`NEBULA_EVENTS=rounds.jsonl`), stderr, or a test capture sink.
+//
+// Disabled (the default) the emit path is one relaxed atomic load; event
+// construction cost is only paid when a sink is attached.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/sink.h"
+
+namespace nebula::obs {
+
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  /// True when a sink is attached — callers should skip building the event
+  /// JSON entirely when false.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Attaches a sink (null detaches and disables).
+  void set_sink(std::shared_ptr<LineSink> sink);
+
+  /// Writes one pre-built JSON object line. No-op when disabled.
+  void emit(const std::string& json_line);
+
+ private:
+  EventLog();  // NEBULA_EVENTS=path attaches a FileSink at startup
+
+  std::mutex mu_;
+  std::shared_ptr<LineSink> sink_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace nebula::obs

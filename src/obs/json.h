@@ -1,0 +1,141 @@
+// Tiny JSON emission helpers for the observability layer. Writing only — the
+// repo never parses JSON in C++ (tools/check_trace.py validates the output),
+// so this stays a ~100-line streaming builder instead of a library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nebula::obs {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number. Non-finite values (which JSON cannot
+/// represent) become null — the validator treats that as a schema error, so
+/// they surface instead of silently corrupting the file.
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Minimal streaming JSON writer: explicit begin/end for objects and arrays,
+/// `key()` before each member value. No pretty-printing, no validation
+/// beyond comma placement — callers are expected to emit well-formed
+/// sequences (the obs tests run the output through a full parser).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    separate();
+    out_ += json_num(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& number_array(const std::vector<T>& vs) {
+    begin_array();
+    for (const T& v : vs) value(static_cast<double>(v));
+    return end_array();
+  }
+  JsonWriter& int_array(const std::vector<std::int64_t>& vs) {
+    begin_array();
+    for (std::int64_t v : vs) value(v);
+    return end_array();
+  }
+
+  const std::string& str() const {
+    NEBULA_CHECK_MSG(depth_.empty(), "unclosed JSON container");
+    return out_;
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    out_ += c;
+    depth_.push_back(true);  // next element is the first in this container
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    NEBULA_CHECK(!depth_.empty());
+    depth_.pop_back();
+    out_ += c;
+    return *this;
+  }
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (!depth_.back()) out_ += ',';
+      depth_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> depth_;
+  bool after_key_ = false;
+};
+
+}  // namespace nebula::obs

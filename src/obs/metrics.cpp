@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace nebula::obs {
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), row_(bounds_.size() + 1) {
+  NEBULA_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  NEBULA_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be ascending");
+  cells_ = std::make_unique<std::atomic<std::int64_t>[]>(detail::kShards *
+                                                         row_);
+  for (std::size_t i = 0; i < detail::kShards * row_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) {
+  // Prometheus `le` semantics: bucket i counts v <= bounds_[i]; the last
+  // bucket is the +inf overflow.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t shard = detail::shard_index();
+  cells_[shard * row_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sums_[shard].sum, v);
+}
+
+std::vector<std::int64_t> Histogram::counts() const {
+  std::vector<std::int64_t> out(row_, 0);
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    for (std::size_t b = 0; b < row_; ++b) {
+      out[b] += cells_[s * row_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t total = 0;
+  for (std::int64_t c : counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < detail::kShards * row_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& s : sums_) s.sum.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> exp_bounds(double lo, double factor, std::size_t n) {
+  NEBULA_CHECK(lo > 0.0 && factor > 1.0 && n > 0);
+  std::vector<double> out;
+  out.reserve(n);
+  double v = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+// ---- Registry --------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() {
+  if (const char* env = std::getenv("NEBULA_METRICS")) {
+    flush_path_ = env;
+    std::atexit([] { MetricsRegistry::instance().flush_env(); });
+  }
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Intentionally leaked: an atexit handler registered during construction
+  // would otherwise run AFTER a function-local static's destructor (atexit
+  // and static destructors share one LIFO, and the destructor registers
+  // last), and late-exiting worker threads may still be bumping counters.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+// Static-init touch: registers the NEBULA_METRICS exit flush even for runs
+// that never increment a metric.
+[[maybe_unused]] const bool g_registry_boot =
+    (MetricsRegistry::instance(), true);
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(std::int64_t{1});
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("bounds").number_array(h->bounds());
+    w.key("counts").int_array(h->counts());
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << w.str() << "\n";
+}
+
+void MetricsRegistry::write_table(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table table({"Metric", "Type", "Value"});
+  for (const auto& [name, c] : counters_) {
+    table.add_row({name, "counter", std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.add_row({name, "gauge", Table::num(g->value(), 6)});
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::int64_t n = h->count();
+    const double mean = n > 0 ? h->sum() / static_cast<double>(n) : 0.0;
+    table.add_row({name, "histogram",
+                   "n=" + std::to_string(n) + " mean=" + Table::num(mean, 6)});
+  }
+  table.print(os);
+}
+
+void MetricsRegistry::flush_env() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = flush_path_;
+  }
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (out) write_json(out);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::map<std::string, double> MetricsRegistry::gauges_with_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) {
+    if (name.rfind(prefix, 0) == 0) out[name] = g->value();
+  }
+  return out;
+}
+
+}  // namespace nebula::obs

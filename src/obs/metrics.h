@@ -1,0 +1,186 @@
+// Always-on metrics registry: named counters, gauges and fixed-bucket
+// histograms with a lock-free fast path.
+//
+// Design notes:
+//  * Counters and histograms are sharded. The shard index piggybacks on
+//    `ThreadPool::current_worker_index()` — inside a parallel region every
+//    participant has a distinct worker index, so concurrent increments from
+//    `parallel_for` land on different cache lines and a relaxed atomic add is
+//    all the hot path pays. Reads sum the shards (exact, but a racing read
+//    sees a momentary partial sum — callers read at quiescent points).
+//  * Metric handles are registered once under a mutex and never move; hot
+//    call sites cache the reference in a function-local static:
+//        static obs::Counter& calls = obs::counter("gemm.calls");
+//        calls.add();
+//  * Export: JSON (schema below, validated by tools/check_trace.py) and a
+//    human-readable table. `NEBULA_METRICS=path` in the environment dumps
+//    the registry to `path` at process exit.
+//
+// JSON schema (schema 1):
+//   {"schema":1, "counters":{name:int}, "gauges":{name:num},
+//    "histograms":{name:{"bounds":[...],"counts":[...],"count":n,"sum":s}}}
+// Histogram `counts` has bounds.size()+1 entries; the last is the overflow
+// bucket (> bounds.back()).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace nebula::obs {
+
+namespace detail {
+
+constexpr std::size_t kShards = 16;  // power of two
+
+struct alignas(64) CounterShard {
+  std::atomic<std::int64_t> count{0};
+};
+
+struct alignas(64) SumShard {
+  std::atomic<double> sum{0.0};
+};
+
+inline std::size_t shard_index() {
+  return ThreadPool::current_worker_index() & (kShards - 1);
+}
+
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    shards_[detail::shard_index()].count.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (auto& s : shards_) s.count.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::CounterShard shards_[detail::kShards];
+};
+
+/// Last-write-wins floating point metric.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { detail::atomic_add(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// final implicit bucket counts the overflow. Bounds are fixed at
+/// registration (first caller wins) so shards can be flat atomic arrays.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Summed-over-shards bucket counts (bounds().size() + 1 entries).
+  std::vector<std::int64_t> counts() const;
+  std::int64_t count() const;
+  double sum() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::size_t row_ = 0;  // buckets per shard = bounds_.size() + 1
+  std::unique_ptr<std::atomic<std::int64_t>[]> cells_;  // kShards x row_
+  detail::SumShard sums_[detail::kShards];
+};
+
+/// Evenly log-spaced histogram bounds: `n` bounds starting at `lo`, each
+/// `factor` times the previous. The conventional layout for latency and
+/// byte-size histograms.
+std::vector<double> exp_bounds(double lo, double factor, std::size_t n);
+
+/// Process-wide registry. Metric references stay valid for the process
+/// lifetime; lookups take a mutex, so cache the reference at hot sites.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Registers (or fetches) a histogram. `upper_bounds` must be ascending;
+  /// it is ignored when `name` already exists.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  void write_json(std::ostream& os) const;
+  void write_table(std::ostream& os) const;
+  /// Writes JSON to the NEBULA_METRICS path, if the env var was set.
+  void flush_env();
+  /// Zeroes every registered metric (tests and multi-phase benches).
+  void reset();
+
+  /// Snapshot of gauges whose name starts with `prefix` (export helper for
+  /// the perf-trajectory harness).
+  std::map<std::string, double> gauges_with_prefix(
+      const std::string& prefix) const;
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::string flush_path_;
+};
+
+inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+inline Histogram& histogram(const std::string& name,
+                            std::vector<double> upper_bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(upper_bounds));
+}
+
+/// Host wall-clock stopwatch for phase timing (monotonic).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nebula::obs

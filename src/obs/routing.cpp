@@ -1,0 +1,37 @@
+#include "obs/routing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nebula::obs {
+
+RoutingStats routing_stats(const std::vector<double>& load) {
+  RoutingStats out;
+  const std::size_t n = load.size();
+  if (n == 0) return out;
+  out.utilisation.assign(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.utilisation[i] = std::max(0.0, load[i]);
+    total += out.utilisation[i];
+  }
+  if (total <= 0.0) {
+    std::fill(out.utilisation.begin(), out.utilisation.end(),
+              1.0 / static_cast<double>(n));
+    total = 1.0;
+  } else {
+    for (double& u : out.utilisation) u /= total;
+  }
+  double entropy = 0.0, max_u = 0.0;
+  for (double u : out.utilisation) {
+    if (u > 0.0) entropy -= u * std::log(u);
+    max_u = std::max(max_u, u);
+  }
+  out.entropy_nats = entropy;
+  out.normalized_entropy =
+      n > 1 ? entropy / std::log(static_cast<double>(n)) : 1.0;
+  out.imbalance = static_cast<double>(n) * max_u;
+  return out;
+}
+
+}  // namespace nebula::obs

@@ -1,0 +1,31 @@
+// Routing statistics: the observable counterpart of the paper's
+// load-balancing auxiliary loss (§4.3) and the §4.2 module-utilisation
+// picture. Given a per-module utilisation distribution (mean gate
+// probability, or the share of top-k routing slots), these summarise how
+// evenly the selector spreads work across a layer's modules.
+#pragma once
+
+#include <vector>
+
+namespace nebula::obs {
+
+struct RoutingStats {
+  /// Normalised per-module utilisation; sums to 1 for a non-degenerate
+  /// input.
+  std::vector<double> utilisation;
+  /// Shannon entropy of `utilisation` in nats. log(N) = uniform routing.
+  double entropy_nats = 0.0;
+  /// entropy / log(N): 1 = perfectly balanced, 0 = collapsed onto one
+  /// module. 1 by convention for N == 1.
+  double normalized_entropy = 0.0;
+  /// Peak-to-mean load ratio, N * max(utilisation): 1 = balanced, N = all
+  /// load on one module. The squared-CV load-balance loss (§4.3) and this
+  /// move together; this is the version that reads off a dashboard.
+  double imbalance = 1.0;
+};
+
+/// Summarises a raw (unnormalised is fine) per-module load vector. Negative
+/// entries are clamped to 0; an all-zero vector yields uniform utilisation.
+RoutingStats routing_stats(const std::vector<double>& load);
+
+}  // namespace nebula::obs

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/sink.h"
+#include "obs/json.h"
+
+namespace nebula::obs {
+
+std::atomic<bool> g_trace_enabled{false};
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* env = std::getenv("NEBULA_TRACE")) {
+    flush_path_ = env;
+    enable();
+    std::atexit([] { Tracer::instance().flush_env(); });
+  }
+}
+
+Tracer& Tracer::instance() {
+  // Intentionally leaked (see MetricsRegistry::instance()): the atexit
+  // flush and spans on late-exiting threads must never see a destroyed
+  // tracer.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+namespace {
+// Static-init touch: SpanScope checks g_trace_enabled before ever calling
+// instance(), so without this the NEBULA_TRACE env hook in the constructor
+// would never run. This TU is linked in wherever NEBULA_SPAN is used.
+[[maybe_unused]] const bool g_tracer_boot = (Tracer::instance(), true);
+}  // namespace
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  // One buffer per (thread, process lifetime); owned by the tracer so the
+  // thread_local can stay a raw pointer with a trivial destructor.
+  static thread_local ThreadBuffer* tls_buffer = nullptr;
+  if (tls_buffer == nullptr) {
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = thread_tag();
+    tls_buffer = buf.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(buf));
+  }
+  return *tls_buffer;
+}
+
+void Tracer::emit(const char* name, std::uint64_t start_ns,
+                  std::uint64_t end_ns) {
+  ThreadBuffer& buf = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(TraceEvent{
+      name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0,
+      buf.tid});
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  w.begin_object()
+      .key("name").value("process_name")
+      .key("ph").value("M")
+      .key("pid").value(std::int64_t{0})
+      .key("args").begin_object().key("name").value("nebula").end_object()
+      .end_object();
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    bool seen = false;
+    for (std::uint32_t t : tids) seen = seen || t == e.tid;
+    if (!seen) tids.push_back(e.tid);
+  }
+  for (std::uint32_t t : tids) {
+    w.begin_object()
+        .key("name").value("thread_name")
+        .key("ph").value("M")
+        .key("pid").value(std::int64_t{0})
+        .key("tid").value(static_cast<std::int64_t>(t))
+        .key("args").begin_object()
+        .key("name").value("t" + std::to_string(t))
+        .end_object()
+        .end_object();
+  }
+  for (const TraceEvent& e : events) {
+    w.begin_object()
+        .key("name").value(e.name)
+        .key("cat").value("nebula")
+        .key("ph").value("X")
+        .key("pid").value(std::int64_t{0})
+        .key("tid").value(static_cast<std::int64_t>(e.tid))
+        .key("ts").value(static_cast<double>(e.start_ns) / 1e3)
+        .key("dur").value(static_cast<double>(e.dur_ns) / 1e3)
+        .end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  os << w.str() << "\n";
+}
+
+void Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (out) write_json(out);
+}
+
+void Tracer::flush_env() {
+  if (flush_path_.empty()) return;
+  write_file(flush_path_);
+}
+
+}  // namespace nebula::obs

@@ -1,0 +1,130 @@
+// Span tracer: RAII scopes exported as Chrome/Perfetto `trace_event` JSON.
+//
+//   void Conv2d::forward(...) {
+//     NEBULA_SPAN("conv.fwd");
+//     ...
+//   }
+//
+// Spans nest naturally (complete "X" events on the same tid reconstruct the
+// call tree by containment in Perfetto). Per-thread buffers mean recording a
+// span is one small-mutex append with no cross-thread contention; when the
+// tracer is disabled the whole scope collapses to one relaxed atomic load —
+// cheap enough to leave in kernels. Defining NEBULA_OBS_NO_TRACE (cmake
+// -DNEBULA_NO_TRACE=ON) compiles NEBULA_SPAN out entirely.
+//
+// `NEBULA_TRACE=out.json` in the environment enables tracing at startup and
+// writes the trace at process exit; open the file at https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nebula::obs {
+
+/// Fast-path switch mirrored by Tracer::enable/disable. A plain global so a
+/// disabled NEBULA_SPAN costs one relaxed load, not a magic-static guard.
+extern std::atomic<bool> g_trace_enabled;
+
+struct TraceEvent {
+  const char* name;  // must outlive the tracer (string literals in practice)
+  std::uint64_t start_ns;  // monotonic, relative to the tracer epoch
+  std::uint64_t dur_ns;
+  std::uint32_t tid;  // common/sink.h thread_tag()
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void enable() { g_trace_enabled.store(true, std::memory_order_relaxed); }
+  void disable() { g_trace_enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer epoch (construction time).
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records one completed span on the calling thread's buffer.
+  void emit(const char* name, std::uint64_t start_ns, std::uint64_t end_ns);
+
+  /// All recorded events, across threads (quiescent-point call).
+  std::vector<TraceEvent> snapshot() const;
+  /// Chrome trace_event JSON (traceEvents array with thread metadata).
+  void write_json(std::ostream& os) const;
+  /// Drops every recorded event (buffers stay registered).
+  void clear();
+  /// Events discarded because a thread buffer hit its cap.
+  std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes the trace to `path` — used by the NEBULA_TRACE exit hook and
+  /// callable explicitly for deterministic flushing.
+  void write_file(const std::string& path) const;
+  /// Writes to the NEBULA_TRACE path, if the env var was set.
+  void flush_env();
+
+ private:
+  Tracer();
+
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    mutable std::mutex mu;  // uncontended: only the owner appends
+    std::vector<TraceEvent> events;
+  };
+  static constexpr std::size_t kMaxEventsPerThread = 1u << 22;
+
+  ThreadBuffer& buffer_for_this_thread();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::size_t> dropped_{0};
+  std::string flush_path_;
+};
+
+/// RAII span. Cost when tracing is off: one relaxed atomic load.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    if (g_trace_enabled.load(std::memory_order_relaxed)) {
+      name_ = name;
+      start_ = Tracer::instance().now_ns();
+    }
+  }
+  ~SpanScope() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::instance();
+      tracer.emit(name_, start_, tracer.now_ns());
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace nebula::obs
+
+#if defined(NEBULA_OBS_NO_TRACE)
+#define NEBULA_SPAN(name)
+#else
+#define NEBULA_SPAN_CAT2(a, b) a##b
+#define NEBULA_SPAN_CAT(a, b) NEBULA_SPAN_CAT2(a, b)
+#define NEBULA_SPAN(name) \
+  ::nebula::obs::SpanScope NEBULA_SPAN_CAT(nebula_span_, __COUNTER__)(name)
+#endif

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nebula {
 
 namespace {
@@ -102,10 +105,15 @@ void ThreadPool::parallel_run(std::size_t begin, std::size_t end, RangeFn fn,
   // Serial fast paths: 1-thread pool, tiny range, or a nested call from one
   // of this pool's own workers (re-entering the job machinery would deadlock;
   // inline execution keeps nested kernels correct and cheap).
+  static obs::Counter& m_regions = obs::counter("pool.regions");
+  static obs::Counter& m_inline = obs::counter("pool.regions_inline");
+  m_regions.add(1);
   if (size() == 1 || n <= grain || tls_pool == this) {
+    m_inline.add(1);
     fn(ctx, begin, end);
     return;
   }
+  NEBULA_SPAN("pool.region");
 
   // Static partition: at most one chunk per participant, rounded to grain.
   const std::size_t chunks =

@@ -1,6 +1,7 @@
 #include "sim/cost_model.h"
 
 #include "nn/state.h"
+#include "obs/metrics.h"
 
 namespace nebula {
 
@@ -69,7 +70,13 @@ double CostModel::training_latency_ms(Layer& model,
 double CostModel::compute_time_s(double flops, const DeviceProfile& device,
                                  double slowdown) {
   NEBULA_CHECK(flops >= 0.0 && slowdown >= 1.0);
-  return flops / device.flops_per_sec * slowdown;
+  const double t = flops / device.flops_per_sec * slowdown;
+  // 1ms .. ~17min in half-decade steps: spans a tiny inference batch up to a
+  // straggler-inflated local training pass.
+  static obs::Histogram& m_hist =
+      obs::histogram("sim.compute_s", obs::exp_bounds(1e-3, 3.1623, 13));
+  m_hist.observe(t);
+  return t;
 }
 
 double CostModel::transfer_time_s(std::int64_t bytes,
@@ -78,7 +85,11 @@ double CostModel::transfer_time_s(std::int64_t bytes,
   NEBULA_CHECK(bytes >= 0);
   NEBULA_CHECK(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
   const double bits = static_cast<double>(bytes) * 8.0;
-  return bits / (device.bandwidth_mbps * 1e6 * bandwidth_factor);
+  const double t = bits / (device.bandwidth_mbps * 1e6 * bandwidth_factor);
+  static obs::Histogram& m_hist =
+      obs::histogram("sim.transfer_s", obs::exp_bounds(1e-3, 3.1623, 13));
+  m_hist.observe(t);
+  return t;
 }
 
 ResourceCost CostModel::resource_cost(

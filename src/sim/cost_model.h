@@ -154,6 +154,10 @@ class CommLedger {
   std::int64_t total_bytes_with_overhead() const {
     return total_bytes() + overhead_bytes();
   }
+  /// Every byte any transfer attempt put on the wire. Identical to
+  /// total_bytes_with_overhead(); the name round telemetry checks
+  /// conservation against (attempted == goodput + overhead).
+  std::int64_t attempted_bytes() const { return total_bytes_with_overhead(); }
   std::int64_t download_attempts() const { return download_attempts_; }
   std::int64_t upload_attempts() const { return upload_attempts_; }
   std::int64_t failed_attempts() const { return failed_attempts_; }

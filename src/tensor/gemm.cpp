@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 #define NEBULA_RESTRICT __restrict__
@@ -241,10 +243,19 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
     }
     return;
   }
+  // Sharded relaxed adds: a handful of ns even for the tiny per-sample
+  // GEMMs, but they make gemm.flops / gemm.calls first-class quantities.
+  static obs::Counter& m_calls = obs::counter("gemm.calls");
+  static obs::Counter& m_flops = obs::counter("gemm.flops");
+  m_calls.add(1);
+  m_flops.add(2 * m * n * k);
   if (m * n * k <= kNaiveFlopThreshold) {
+    static obs::Counter& m_naive = obs::counter("gemm.naive_calls");
+    m_naive.add(1);
     gemm_naive(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
     return;
   }
+  NEBULA_SPAN("gemm.blocked");
 
   ThreadPool& pool = ThreadPool::global();
   for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
@@ -257,7 +268,10 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
       // written) by every participant of the row-block sweep below.
       float* bpack = pool.scratch_floats(
           ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
-      pack_b(tb, b, ldb, p0, j0, kc, nc, bpack);
+      {
+        NEBULA_SPAN("gemm.pack_b");
+        pack_b(tb, b, ldb, p0, j0, kc, nc, bpack);
+      }
 
       const std::size_t nblocks =
           static_cast<std::size_t>(ceil_div(m, kMC));

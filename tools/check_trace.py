@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Schema validator for the observability layer's output files.
+
+Validates any combination of:
+  --trace trace.json     Chrome/Perfetto trace_event JSON from the span tracer
+  --metrics metrics.json Metrics registry JSON (schema 1)
+  --events rounds.jsonl  Round-telemetry JSONL from NEBULA_EVENTS
+
+Beyond shape checks this enforces the invariants the C++ side promises:
+span nesting is well-formed per thread, histogram counts are consistent,
+and each round event conserves traffic (attempted == goodput + overhead)
+and accounts for every participant.
+
+  python3 tools/check_trace.py --trace trace.json \
+      --require-span nebula.offline --require-span nebula.round:3
+
+Exit code 0 = all checks passed. Wired into ctest under the `obs` label.
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+# ---- trace ------------------------------------------------------------------
+
+def check_trace(path, require_spans):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"trace: cannot parse {path}: {e}")
+        return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("trace: top level must be an object with 'traceEvents'")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("trace: traceEvents must be a list")
+        return
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"trace: event {i} is not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "M":
+            if not isinstance(e.get("args"), dict):
+                fail(f"trace: metadata event {i} lacks args object")
+            continue
+        if ph != "X":
+            fail(f"trace: event {i} has unsupported ph={ph!r}")
+            continue
+        ok = True
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"trace: X event {i} lacks a name")
+            ok = False
+        for k in ("ts", "dur"):
+            if not is_num(e.get(k)) or e[k] < 0:
+                # json_num() turns non-finite values into null; that must
+                # surface here, not silently pass.
+                fail(f"trace: X event {i} ({e.get('name')}) bad {k}: "
+                     f"{e.get(k)!r}")
+                ok = False
+        if not isinstance(e.get("tid"), int):
+            fail(f"trace: X event {i} lacks integer tid")
+            ok = False
+        if ok:
+            spans.append(e)
+
+    # Per-thread nesting: RAII spans on one thread must form a proper call
+    # tree — sorted by start, a stack of enclosing spans never interleaves.
+    eps = 1e-3  # µs; ns->µs division keeps ~µs precision at %.9g
+    by_tid = {}
+    for e in spans:
+        by_tid.setdefault(e["tid"], []).append(e)
+    for tid, evs in by_tid.items():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for e in evs:
+            end = e["ts"] + e["dur"]
+            while stack and e["ts"] >= stack[-1] - eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                fail(f"trace: tid {tid} span '{e['name']}' "
+                     f"[{e['ts']}, {end}] overlaps its enclosing span "
+                     f"(ends {stack[-1]}) without nesting")
+                break
+            stack.append(end)
+
+    counts = {}
+    for e in spans:
+        counts[e["name"]] = counts.get(e["name"], 0) + 1
+    for req in require_spans:
+        name, _, min_n = req.partition(":")
+        min_n = int(min_n) if min_n else 1
+        if counts.get(name, 0) < min_n:
+            fail(f"trace: expected >= {min_n} '{name}' spans, "
+                 f"found {counts.get(name, 0)}")
+    print(f"trace: {len(spans)} spans on {len(by_tid)} threads, "
+          f"{len(counts)} distinct names")
+
+
+# ---- metrics ----------------------------------------------------------------
+
+def check_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"metrics: cannot parse {path}: {e}")
+        return
+    if doc.get("schema") != 1:
+        fail(f"metrics: schema must be 1, got {doc.get('schema')!r}")
+        return
+    counters = doc.get("counters")
+    gauges = doc.get("gauges")
+    histograms = doc.get("histograms")
+    if not all(isinstance(x, dict) for x in (counters, gauges, histograms)):
+        fail("metrics: counters/gauges/histograms must all be objects")
+        return
+    for name, v in counters.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"metrics: counter {name} must be a non-negative int: {v!r}")
+    for name, v in gauges.items():
+        if not is_num(v):
+            fail(f"metrics: gauge {name} must be a finite number: {v!r}")
+    for name, h in histograms.items():
+        if not isinstance(h, dict):
+            fail(f"metrics: histogram {name} must be an object")
+            continue
+        bounds, counts = h.get("bounds"), h.get("counts")
+        if (not isinstance(bounds, list) or not bounds or
+                not all(is_num(b) for b in bounds) or
+                sorted(bounds) != bounds):
+            fail(f"metrics: histogram {name} bounds must be ascending numbers")
+            continue
+        if (not isinstance(counts, list) or
+                len(counts) != len(bounds) + 1 or
+                not all(isinstance(c, int) and c >= 0 for c in counts)):
+            fail(f"metrics: histogram {name} needs len(bounds)+1 "
+                 "non-negative integer counts")
+            continue
+        if h.get("count") != sum(counts):
+            fail(f"metrics: histogram {name} count {h.get('count')} != "
+                 f"sum of buckets {sum(counts)}")
+        if not is_num(h.get("sum")):
+            fail(f"metrics: histogram {name} sum must be a finite number")
+    print(f"metrics: {len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(histograms)} histograms")
+
+
+# ---- round events -----------------------------------------------------------
+
+ROUND_KEYS = [
+    "round", "participants", "completed", "dropped", "straggled", "rejected",
+    "staleness_weights", "transfer_retries", "goodput_bytes",
+    "overhead_bytes", "attempted_bytes", "routing_entropy",
+    "routing_imbalance", "phases", "wall_time_s", "aggregated",
+]
+PHASE_KEYS = ["derive_s", "train_s", "validate_s", "aggregate_s", "total_s"]
+
+
+def check_events(path):
+    rounds = 0
+    try:
+        lines = open(path).read().splitlines()
+    except OSError as e:
+        fail(f"events: cannot read {path}: {e}")
+        return
+    for ln, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(f"events: line {ln} is not valid JSON: {err}")
+            continue
+        t = e.get("type")
+        if t == "quarantine":
+            if not isinstance(e.get("verdict"), str):
+                fail(f"events: line {ln} quarantine lacks verdict")
+            continue
+        if t != "round":
+            fail(f"events: line {ln} has unknown type {t!r}")
+            continue
+        rounds += 1
+        missing = [k for k in ROUND_KEYS if k not in e]
+        if missing:
+            fail(f"events: line {ln} round event missing {missing}")
+            continue
+        phases = e["phases"]
+        if not isinstance(phases, dict) or any(
+                not is_num(phases.get(k)) or phases[k] < 0
+                for k in PHASE_KEYS):
+            fail(f"events: line {ln} bad phases object: {phases!r}")
+        # Traffic conservation, re-checked from the serialized numbers.
+        if e["attempted_bytes"] != e["goodput_bytes"] + e["overhead_bytes"]:
+            fail(f"events: line {ln} traffic leak: attempted "
+                 f"{e['attempted_bytes']} != goodput {e['goodput_bytes']} + "
+                 f"overhead {e['overhead_bytes']}")
+        # Every participant lands in exactly one terminal bucket. Stragglers
+        # with weight 0 were cut by the server (not in the other lists).
+        cut = sum(1 for w in e["staleness_weights"] if w == 0)
+        terminal = (len(e["completed"]) + len(e["dropped"]) +
+                    len(e["rejected"]) + cut)
+        if terminal != len(e["participants"]):
+            fail(f"events: line {ln} participant accounting: "
+                 f"{terminal} terminal fates for "
+                 f"{len(e['participants'])} participants")
+        if len(e["staleness_weights"]) != len(e["straggled"]):
+            fail(f"events: line {ln} staleness_weights not parallel "
+                 "to straggled")
+        if not (0 <= e["routing_entropy"] <= 1 + 1e-9):
+            fail(f"events: line {ln} routing_entropy out of [0,1]: "
+                 f"{e['routing_entropy']}")
+    if rounds == 0:
+        fail("events: no round events found")
+    else:
+        print(f"events: {rounds} round events")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace_event JSON to validate")
+    ap.add_argument("--metrics", help="metrics registry JSON to validate")
+    ap.add_argument("--events", help="round-telemetry JSONL to validate")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME[:MIN]",
+                    help="require >= MIN (default 1) spans named NAME")
+    args = ap.parse_args()
+    if not (args.trace or args.metrics or args.events):
+        ap.error("nothing to check: pass --trace, --metrics and/or --events")
+    if args.trace:
+        check_trace(args.trace, args.require_span)
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.events:
+        check_events(args.events)
+    if FAILURES:
+        for msg in FAILURES:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
