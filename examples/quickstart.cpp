@@ -4,7 +4,8 @@
 //   2. Modularize a model and run the offline on-cloud stage (end-to-end
 //      training + module ability-enhancing training).
 //   3. Run online edge-cloud collaborative adaptation rounds.
-//   4. Derive a personalized sub-model for one device and evaluate it.
+//   4. Derive a personalized sub-model for one device, locally adapt it,
+//      and evaluate it.
 //
 // Build & run:  cmake --build build && ./build/examples/example_quickstart
 #include <cstdio>
@@ -47,13 +48,18 @@ int main() {
                 nebula.ledger().total_mb());
   }
 
-  // 4. Personalized sub-model for device 0.
+  // 4. Personalized sub-model for device 0. Whether device 0 was sampled in
+  //    the rounds above is selection luck, so adapt it explicitly — derive
+  //    from the final cloud and fine-tune on local data (no upload) — before
+  //    evaluating.
   auto derivation = nebula.derive(0);
   std::printf("\ndevice 0 sub-model: %lld modules, budget fraction %.2f, "
               "within budget: %s\n",
               static_cast<long long>(derivation.spec.total_modules()),
               nebula.budget_fraction_for(0),
               derivation.within_budget ? "yes" : "no");
+  nebula.adapt_device(0, /*query_cloud=*/true, /*local_train=*/true,
+                      /*upload=*/false);
   const float accuracy = nebula.eval_device(0);
   std::printf("device 0 accuracy on its local task: %.1f%%\n",
               accuracy * 100.0f);

@@ -1,8 +1,15 @@
 #include "baselines/fedavg.h"
 
 #include "nn/state.h"
+#include "parallel/thread_pool.h"
 
 namespace nebula {
+
+namespace {
+// Salt for per-(round, device) local-training seed streams (see
+// derive_stream_seed); disjoint from the FaultInjector and Nebula salts.
+constexpr std::uint64_t kFedAvgTrainSalt = 0x12;
+}  // namespace
 
 FedAvg::FedAvg(LayerPtr global_model, EdgePopulation& pop, FedAvgConfig cfg)
     : global_(std::move(global_model)), pop_(pop), cfg_(cfg),
@@ -24,43 +31,71 @@ std::vector<std::int64_t> FedAvg::round() {
   const std::vector<float> global_state = get_state(*global_);
   const std::int64_t bytes = state_bytes(*global_);
 
-  std::vector<std::vector<float>> states;
-  std::vector<double> weights;
+  // Per-device training is independent: seeds and fates are derived per
+  // (round, device), every device trains a private clone and writes only its
+  // own slot. Slots merge in participant order after the barrier, so the
+  // averaged model and ledger are bit-identical to serial execution.
+  struct Slot {
+    bool uploaded = false;
+    std::vector<float> state;
+    double weight = 0.0;
+    CommLedger ledger;
+    std::exception_ptr error;
+  };
+  std::vector<Slot> slots(pick.size());
+  ThreadPool::global().parallel_for(
+      0, pick.size(),
+      [&](std::size_t i) {
+        Slot& slot = slots[i];
+        try {
+          const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+          const DeviceFate fate =
+              faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
+          if (fate.dropped) return;
+          slot.ledger.record_download(bytes);
+          auto local = global_->clone();
+          TrainConfig cfg = cfg_.local;
+          cfg.seed =
+              derive_stream_seed(cfg_.seed, round_idx, k, kFedAvgTrainSalt);
+          train_plain(*local, pop_.local_data(k), cfg);
+          if (fate.crashes_before_upload) return;
+          slot.ledger.record_upload(bytes);
+          std::vector<float> state = get_state(*local);
+          if (fate.corruption != CorruptionKind::kNone &&
+              fate.corruption != CorruptionKind::kTruncate) {
+            // FedAvg ships one flat state vector, so a truncated payload
+            // would be unloadable; NaN/zero damage is averaged straight into
+            // the global model — no server-side validation exists in the
+            // baseline.
+            Rng crng = faults_->payload_rng(round_idx, k);
+            FaultInjector::corrupt_payload(state, fate.corruption, crng);
+          }
+          slot.state = std::move(state);
+          slot.weight = static_cast<double>(pop_.local_data(k).size());
+          slot.uploaded = true;
+        } catch (...) {
+          slot.error = std::current_exception();
+        }
+      },
+      /*grain=*/1);
+
   std::vector<std::int64_t> participants;
+  std::vector<const Slot*> survivors;
   for (std::size_t i = 0; i < pick.size(); ++i) {
-    const std::int64_t k = static_cast<std::int64_t>(pick[i]);
-    participants.push_back(k);
-    const DeviceFate fate =
-        faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
-    if (fate.dropped) continue;
-    ledger_.record_download(bytes);
-    auto local = global_->clone();
-    TrainConfig cfg = cfg_.local;
-    cfg.seed = rng_.next_u64();
-    train_plain(*local, pop_.local_data(k), cfg);
-    if (fate.crashes_before_upload) continue;
-    ledger_.record_upload(bytes);
-    std::vector<float> state = get_state(*local);
-    if (fate.corruption != CorruptionKind::kNone &&
-        fate.corruption != CorruptionKind::kTruncate) {
-      // FedAvg ships one flat state vector, so a truncated payload would be
-      // unloadable; NaN/zero damage is averaged straight into the global
-      // model — no server-side validation exists in the baseline.
-      Rng crng = faults_->payload_rng(round_idx, k);
-      FaultInjector::corrupt_payload(state, fate.corruption, crng);
-    }
-    states.push_back(std::move(state));
-    weights.push_back(static_cast<double>(pop_.local_data(k).size()));
+    if (slots[i].error) std::rethrow_exception(slots[i].error);
+    participants.push_back(static_cast<std::int64_t>(pick[i]));
+    ledger_.merge(slots[i].ledger);
+    if (slots[i].uploaded) survivors.push_back(&slots[i]);
   }
-  if (states.empty()) return participants;
+  if (survivors.empty()) return participants;
 
   double wsum = 0.0;
-  for (double w : weights) wsum += w;
+  for (const Slot* s : survivors) wsum += s->weight;
   std::vector<float> merged(global_state.size(), 0.0f);
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    const float w = static_cast<float>(weights[i] / wsum);
+  for (const Slot* s : survivors) {
+    const float w = static_cast<float>(s->weight / wsum);
     for (std::size_t e = 0; e < merged.size(); ++e) {
-      merged[e] += w * states[i][e];
+      merged[e] += w * s->state[e];
     }
   }
   set_state(*global_, merged);

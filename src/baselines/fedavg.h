@@ -39,6 +39,10 @@ class FedAvg {
   /// Accuracy of the global model on device k's current task.
   float eval_device(std::int64_t k, std::int64_t test_n = 256);
 
+  /// Pure evaluation on a caller-provided test set (no draw from the
+  /// population RNG) — safe to call concurrently from eval loops.
+  float eval_on(const Dataset& test) { return evaluate_plain(*global_, test); }
+
   /// Subjects rounds to the same fault schedule Nebula faces — but FedAvg
   /// has no fault-tolerant protocol: dropped devices are simply missing and
   /// corrupted uploads are averaged in unvalidated (the paper-baseline

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "nn/state.h"
+#include "parallel/thread_pool.h"
 
 namespace nebula {
+
+namespace {
+// Salt for per-(round, device) local-training seed streams (see
+// derive_stream_seed); disjoint from the other stream families.
+constexpr std::uint64_t kHeteroFLTrainSalt = 0x13;
+}  // namespace
 
 HeteroFL::HeteroFL(std::function<LayerPtr(double)> factory,
                    EdgePopulation& pop,
@@ -22,10 +29,10 @@ HeteroFL::HeteroFL(std::function<LayerPtr(double)> factory,
                pop_.num_devices());
 
   // Capacity quantiles map devices onto width tiers evenly.
-  const auto tiers = assign_tiers_by_capacity(profiles, widths.size());
+  device_tier_ = assign_tiers_by_capacity(profiles, widths.size());
   device_width_.reserve(profiles.size());
   for (std::size_t k = 0; k < profiles.size(); ++k) {
-    device_width_.push_back(widths[tiers[k]]);
+    device_width_.push_back(widths[device_tier_[k]]);
   }
 }
 
@@ -50,24 +57,51 @@ void HeteroFL::pretrain(const Dataset& proxy, const TrainConfig& cfg) {
 }
 
 std::vector<std::int64_t> HeteroFL::round() {
+  const std::int64_t round_idx = round_index_++;
   const std::int64_t n = pop_.num_devices();
   const std::int64_t m = std::min(cfg_.devices_per_round, n);
   auto pick = rng_.choose(static_cast<std::size_t>(n),
                           static_cast<std::size_t>(m));
 
-  NestedAggregator agg(*global_);
+  // Serial prologue: tier models come from `factory_`, which draws from the
+  // process-wide init RNG — constructing them inside the parallel region
+  // would race on (and reorder) that stream. The freshly initialised
+  // weights are then fully overwritten by nested_extract.
   std::vector<std::int64_t> participants;
+  std::vector<LayerPtr> subs(pick.size());
   for (std::size_t i = 0; i < pick.size(); ++i) {
     const std::int64_t k = static_cast<std::int64_t>(pick[i]);
     participants.push_back(k);
-    auto sub = factory_(device_width_[static_cast<std::size_t>(k)]);
-    nested_extract(*global_, *sub);
-    ledger_.record_download(state_bytes(*sub));
-    TrainConfig cfg = cfg_.local;
-    cfg.seed = rng_.next_u64();
-    train_plain(*sub, pop_.local_data(k), cfg);
-    ledger_.record_upload(state_bytes(*sub));
-    agg.add(*sub, static_cast<double>(pop_.local_data(k).size()));
+    subs[i] = factory_(device_width_[static_cast<std::size_t>(k)]);
+    nested_extract(*global_, *subs[i]);
+    ledger_.record_download(state_bytes(*subs[i]));
+  }
+
+  // Parallel local training: private model per slot, derived seeds.
+  std::vector<std::exception_ptr> errors(pick.size());
+  ThreadPool::global().parallel_for(
+      0, pick.size(),
+      [&](std::size_t i) {
+        try {
+          const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+          TrainConfig cfg = cfg_.local;
+          cfg.seed =
+              derive_stream_seed(cfg_.seed, round_idx, k, kHeteroFLTrainSalt);
+          train_plain(*subs[i], pop_.local_data(k), cfg);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      },
+      /*grain=*/1);
+
+  // Ordered epilogue: fold updates in participant order so the aggregator's
+  // float accumulation is identical for any worker count.
+  NestedAggregator agg(*global_);
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+    ledger_.record_upload(state_bytes(*subs[i]));
+    agg.add(*subs[i], static_cast<double>(pop_.local_data(k).size()));
   }
   agg.finish(*global_);
   return participants;
@@ -78,6 +112,22 @@ float HeteroFL::eval_device(std::int64_t k, std::int64_t test_n) {
   nested_extract(*global_, *sub);
   Dataset test = pop_.device_test(k, test_n);
   return evaluate_plain(*sub, test);
+}
+
+void HeteroFL::refresh_eval_models() {
+  eval_models_.clear();
+  for (double w : cfg_.widths) {
+    auto tier = factory_(w);
+    nested_extract(*global_, *tier);
+    eval_models_.push_back(std::move(tier));
+  }
+}
+
+float HeteroFL::eval_on(std::int64_t k, const Dataset& test) {
+  NEBULA_CHECK_MSG(!eval_models_.empty(),
+                   "call refresh_eval_models() before eval_on()");
+  return evaluate_plain(
+      *eval_models_.at(device_tier_.at(static_cast<std::size_t>(k))), test);
 }
 
 }  // namespace nebula

@@ -44,6 +44,17 @@ class HeteroFL {
   /// Accuracy of device k's width tier extracted from the global model.
   float eval_device(std::int64_t k, std::int64_t test_n = 256);
 
+  /// Materialises one evaluation model per width tier from the current
+  /// global model. Tier construction draws from the process-wide init RNG,
+  /// so it must happen serially — call this once, then `eval_on` is pure
+  /// and safe for concurrent per-device use.
+  void refresh_eval_models();
+
+  /// Accuracy of device k's tier on a caller-provided test set, using the
+  /// models cached by the last `refresh_eval_models` (throws if never
+  /// refreshed). Read-only on shared state.
+  float eval_on(std::int64_t k, const Dataset& test);
+
   double device_width(std::int64_t k) const {
     return device_width_.at(static_cast<std::size_t>(k));
   }
@@ -56,8 +67,11 @@ class HeteroFL {
   EdgePopulation& pop_;
   HeteroFLConfig cfg_;
   std::vector<double> device_width_;
+  std::vector<std::size_t> device_tier_;   // device -> index into widths
+  std::vector<LayerPtr> eval_models_;      // per-tier, refresh_eval_models()
   CommLedger ledger_;
   Rng rng_;
+  std::int64_t round_index_ = 0;
 };
 
 }  // namespace nebula

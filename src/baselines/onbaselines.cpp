@@ -4,19 +4,31 @@
 
 namespace nebula {
 
+namespace {
+// Salts for per-(call, device) local-training seed streams (see
+// derive_stream_seed). Seeds derived from coordinates instead of drawn from
+// a shared RNG keep each device's adaptation independent of the order
+// devices are adapted in — which is what lets experiment warm-up loops run
+// devices in parallel.
+constexpr std::uint64_t kLocalAdaptSalt = 0x14;
+constexpr std::uint64_t kAdaptiveNetSalt = 0x15;
+}  // namespace
+
 LocalAdaptation::LocalAdaptation(LayerPtr pretrained, EdgePopulation& pop,
                                  TrainConfig local)
-    : pretrained_(std::move(pretrained)), pop_(pop), local_(local),
-      rng_(local.seed) {
+    : pretrained_(std::move(pretrained)), pop_(pop), local_(local) {
   NEBULA_CHECK(pretrained_ != nullptr);
   device_models_.resize(static_cast<std::size_t>(pop_.num_devices()));
+  adapt_counts_.assign(device_models_.size(), 0);
 }
 
 void LocalAdaptation::adapt_device(std::int64_t k) {
   auto& model = device_models_.at(static_cast<std::size_t>(k));
   if (!model) model = pretrained_->clone();
   TrainConfig cfg = local_;
-  cfg.seed = rng_.next_u64();
+  cfg.seed = derive_stream_seed(
+      local_.seed, adapt_counts_.at(static_cast<std::size_t>(k))++, k,
+      kLocalAdaptSalt);
   train_plain(*model, pop_.local_data(k), cfg);
 }
 
@@ -33,7 +45,7 @@ AdaptiveNetLike::AdaptiveNetLike(std::function<LayerPtr(double)> factory,
                                  const std::vector<DeviceProfile>& profiles,
                                  TrainConfig local)
     : factory_(std::move(factory)), widths_(std::move(widths)), pop_(pop),
-      local_(local), rng_(local.seed) {
+      local_(local) {
   NEBULA_CHECK(!widths_.empty());
   std::sort(widths_.begin(), widths_.end());
   NEBULA_CHECK(static_cast<std::int64_t>(profiles.size()) ==
@@ -42,6 +54,7 @@ AdaptiveNetLike::AdaptiveNetLike(std::function<LayerPtr(double)> factory,
 
   branch_of_ = assign_tiers_by_capacity(profiles, widths_.size());
   device_models_.resize(static_cast<std::size_t>(pop_.num_devices()));
+  adapt_counts_.assign(device_models_.size(), 0);
 }
 
 void AdaptiveNetLike::pretrain(const Dataset& proxy, const TrainConfig& cfg) {
@@ -54,7 +67,9 @@ void AdaptiveNetLike::adapt_device(std::int64_t k) {
     model = branches_.at(branch_of_.at(static_cast<std::size_t>(k)))->clone();
   }
   TrainConfig cfg = local_;
-  cfg.seed = rng_.next_u64();
+  cfg.seed = derive_stream_seed(
+      local_.seed, adapt_counts_.at(static_cast<std::size_t>(k))++, k,
+      kAdaptiveNetSalt);
   train_plain(*model, pop_.local_data(k), cfg);
 }
 

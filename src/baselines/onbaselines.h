@@ -38,6 +38,10 @@ class NoAdaptation {
     return evaluate_plain(*model_, test);
   }
 
+  /// Pure evaluation on a caller-provided test set (no draw from the
+  /// population RNG) — safe to call concurrently from eval loops.
+  float eval_on(const Dataset& test) { return evaluate_plain(*model_, test); }
+
   Layer& model() { return *model_; }
 
  private:
@@ -60,12 +64,20 @@ class LocalAdaptation {
 
   float eval_device(std::int64_t k, std::int64_t test_n = 256);
 
+  /// Pure evaluation of device k's adapted copy (or the pre-trained model if
+  /// k never adapted) on a caller-provided test set — safe to call
+  /// concurrently from eval loops.
+  float eval_on(std::int64_t k, const Dataset& test) {
+    auto& model = device_models_.at(static_cast<std::size_t>(k));
+    return evaluate_plain(model ? *model : *pretrained_, test);
+  }
+
  private:
   LayerPtr pretrained_;
   EdgePopulation& pop_;
   TrainConfig local_;
   std::vector<LayerPtr> device_models_;
-  Rng rng_;
+  std::vector<std::int64_t> adapt_counts_;  // per-device adapt-call counters
 };
 
 /// Multi-branch supernet with local branch selection and adaptation.
@@ -85,6 +97,17 @@ class AdaptiveNetLike {
 
   float eval_device(std::int64_t k, std::int64_t test_n = 256);
 
+  /// Pure evaluation of device k's adapted branch (or its pre-trained branch
+  /// if k never adapted) on a caller-provided test set — safe to call
+  /// concurrently from eval loops.
+  float eval_on(std::int64_t k, const Dataset& test) {
+    auto& model = device_models_.at(static_cast<std::size_t>(k));
+    return evaluate_plain(
+        model ? *model
+              : *branches_.at(branch_of_.at(static_cast<std::size_t>(k))),
+        test);
+  }
+
   double device_width(std::int64_t k) const {
     return widths_.at(branch_of_.at(static_cast<std::size_t>(k)));
   }
@@ -97,7 +120,7 @@ class AdaptiveNetLike {
   std::vector<LayerPtr> branches_;          // pre-trained branch per tier
   std::vector<std::size_t> branch_of_;      // device -> tier index
   std::vector<LayerPtr> device_models_;     // device-local adapted branch
-  Rng rng_;
+  std::vector<std::int64_t> adapt_counts_;  // per-device adapt-call counters
 };
 
 }  // namespace nebula

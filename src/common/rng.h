@@ -12,6 +12,31 @@
 
 namespace nebula {
 
+/// splitmix64 finaliser: bijectively decorrelates a 64-bit value. Used to
+/// expand single seeds into xoshiro state and to derive independent streams
+/// from structured coordinates (see `derive_stream_seed`).
+constexpr std::uint64_t splitmix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for an independent per-(a, b, salt) stream derived from `base` —
+/// e.g. per-(round, device) training seeds. Deriving by coordinates instead
+/// of drawing from a shared sequential RNG makes the stream independent of
+/// iteration order, which is what lets per-device round work run in parallel
+/// while staying bit-identical to serial execution. Same scheme as
+/// `FaultInjector::stream`.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t base, std::int64_t a,
+                                           std::int64_t b,
+                                           std::uint64_t salt) {
+  std::uint64_t s = base;
+  s = splitmix64(s ^ (static_cast<std::uint64_t>(a) + 0x9e3779b97f4a7c15ULL));
+  s = splitmix64(s ^ (static_cast<std::uint64_t>(b) + 0x7f4a7c159e3779b9ULL));
+  s = splitmix64(s ^ salt);
+  return s;
+}
+
 /// xoshiro256** — small, fast, high-quality PRNG. Not cryptographic.
 class Rng {
  public:
@@ -19,14 +44,10 @@ class Rng {
 
   /// Re-initialise the state from a single 64-bit seed via splitmix64.
   void reseed(std::uint64_t seed) {
-    auto splitmix = [&seed]() {
+    for (auto& s : state_) {
       seed += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      return z ^ (z >> 31);
-    };
-    for (auto& s : state_) s = splitmix();
+      s = splitmix64(seed);
+    }
     has_gauss_ = false;
   }
 
@@ -51,8 +72,23 @@ class Rng {
   /// Uniform float in [lo, hi).
   float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Uniform integer in [0, n). n must be > 0.
-  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+  /// Uniform integer in [0, n). n must be > 0. Lemire's multiply-shift
+  /// bounded rand with rejection of the biased low region — exactly uniform,
+  /// unlike the classic `next_u64() % n` which over-weights small residues.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<unsigned __int128>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Standard normal via Box-Muller (cached pair).
   float normal() {
@@ -81,11 +117,15 @@ class Rng {
     }
   }
 
-  /// Sample k distinct indices from [0, n) (k <= n).
+  /// Sample k distinct indices from [0, n) (k <= n). Partial Fisher-Yates:
+  /// only the first k positions are swapped into place, so a round that
+  /// samples m of n devices draws m integers instead of shuffling all n.
   std::vector<std::size_t> choose(std::size_t n, std::size_t k) {
     std::vector<std::size_t> idx(n);
     for (std::size_t i = 0; i < n; ++i) idx[i] = i;
-    shuffle(idx);
+    for (std::size_t i = 0; i < k && i + 1 < n; ++i) {
+      std::swap(idx[i], idx[i + uniform_int(n - i)]);
+    }
     idx.resize(k);
     return idx;
   }

@@ -10,10 +10,17 @@
 #include "obs/metrics.h"
 #include "obs/routing.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace nebula {
 
 namespace {
+
+// Salts for the per-(round, device) training-seed streams, disjoint from the
+// FaultInjector salts (0x01-0x03 + transfer/attempt offsets) so the two
+// families of streams never collide even under a shared base seed.
+constexpr std::uint64_t kEdgeTrainSalt = 0x10;
+constexpr std::uint64_t kAdaptTrainSalt = 0x11;
 
 // One JSONL object per round, written only when a sink is attached
 // (NEBULA_EVENTS=rounds.jsonl or a test capture sink).
@@ -94,7 +101,8 @@ NebulaSystem::NebulaSystem(ZooModel cloud, EdgePopulation& pop,
   derivation_ = std::make_unique<SubmodelDerivation>(cloud_->module_costs(),
                                                      cloud_->shared_cost());
   edge_states_.resize(profiles_.size());
-  selector_cached_.assign(profiles_.size(), false);
+  selector_cached_.assign(profiles_.size(), 0);
+  adapt_counts_.assign(profiles_.size(), 0);
   for (const auto& p : profiles_) {
     cap_max_ = std::max(cap_max_, p.mem_capacity_mb);
   }
@@ -177,9 +185,10 @@ void NebulaSystem::inject_faults(const FaultConfig& cfg) {
 }
 
 EdgeUpdate NebulaSystem::train_and_pack(std::int64_t k,
-                                        ModularModel& submodel) {
+                                        ModularModel& submodel,
+                                        std::uint64_t seed) {
   TrainConfig edge_cfg = cfg_.edge;
-  edge_cfg.seed = rng_.next_u64();
+  edge_cfg.seed = seed;
   train_modular(submodel, *selector_, pop_.local_data(k), edge_cfg);
   return make_edge_update(submodel, device_importance(k),
                           pop_.local_data(k).size());
@@ -189,14 +198,14 @@ bool NebulaSystem::faulted_transfer(std::int64_t round_idx, std::int64_t k,
                                     std::int64_t transfer_idx,
                                     std::int64_t bytes,
                                     const DeviceFate& fate,
-                                    RoundReport& report, double& wall_s) {
+                                    DeviceRoundSlot& slot) {
   const FaultPolicy& policy = cfg_.fault_policy;
   const int attempts = std::max(1, policy.max_transfer_attempts);
   for (int a = 0; a < attempts; ++a) {
     // Counted per attempt, independently of the ledger's goodput/waste
     // split — round() checks the two paths agree.
-    report.attempted_bytes += bytes;
-    wall_s +=
+    slot.attempted_bytes += bytes;
+    slot.wall_s +=
         CostModel::transfer_time_s(bytes, profile(k), fate.bandwidth_factor);
     const bool fails =
         faults_ && faults_->transfer_attempt_fails(round_idx, k, transfer_idx,
@@ -204,14 +213,15 @@ bool NebulaSystem::faulted_transfer(std::int64_t round_idx, std::int64_t k,
     if (!fails) return true;
     // The bytes burnt in flight are overhead, never goodput.
     if (transfer_idx == 0) {
-      ledger_.record_failed_download(bytes);
+      slot.ledger.record_failed_download(bytes);
     } else {
-      ledger_.record_failed_upload(bytes);
+      slot.ledger.record_failed_upload(bytes);
     }
     if (a + 1 < attempts) {
-      ++report.transfer_retries;
-      wall_s += std::min(policy.backoff_cap_s,
-                         policy.backoff_base_s * static_cast<double>(1 << a));
+      ++slot.transfer_retries;
+      slot.wall_s +=
+          std::min(policy.backoff_cap_s,
+                   policy.backoff_base_s * static_cast<double>(1 << a));
     }
   }
   return false;
@@ -246,6 +256,113 @@ void NebulaSystem::apply_corruption(EdgeUpdate& up, CorruptionKind kind,
   }
 }
 
+void NebulaSystem::run_round_device(std::int64_t round_idx,
+                                    DeviceRoundSlot& slot) {
+  const FaultPolicy& policy = cfg_.fault_policy;
+  const std::int64_t k = slot.device;
+  const DeviceFate fate =
+      faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
+  if (fate.dropped) {  // never checked in
+    slot.outcome = DeviceRoundSlot::Outcome::kDropped;
+    return;
+  }
+
+  obs::WallTimer derive_timer;
+  DerivationResult der;
+  {
+    NEBULA_SPAN("round.derive");
+    const auto importance = device_importance(k);
+    der = derive_with(importance, k);
+    // Soft routing view over this participant's importance scores,
+    // averaged per layer; accumulated into the round report.
+    for (const auto& layer : importance) {
+      const obs::RoutingStats rs = obs::routing_stats(layer);
+      slot.entropy_sum += rs.normalized_entropy;
+      slot.imbalance_sum += rs.imbalance;
+      ++slot.routing_samples;
+    }
+  }
+  slot.phases.derive_s += derive_timer.elapsed_s();
+  const std::int64_t dl_bytes = download_bytes(der.spec, k);
+  if (!faulted_transfer(round_idx, k, /*transfer_idx=*/0, dl_bytes, fate,
+                        slot)) {
+    slot.outcome = DeviceRoundSlot::Outcome::kDropped;  // dead link
+    return;
+  }
+  slot.ledger.record_download(dl_bytes);
+  mark_selector_cached(k);
+
+  obs::WallTimer train_timer;
+  auto submodel = cloud_->derive_submodel(der.spec);
+  EdgeUpdate up;
+  {
+    NEBULA_SPAN("round.train");
+    up = train_and_pack(
+        k, *submodel,
+        derive_stream_seed(cfg_.seed, round_idx, k, kEdgeTrainSalt));
+  }
+  slot.phases.train_s += train_timer.elapsed_s();
+  const double train_flops =
+      3.0 * static_cast<double>(submodel->forward_flops(cfg_.top_k)) *
+      static_cast<double>(pop_.local_data(k).size()) *
+      static_cast<double>(cfg_.edge.epochs);
+  slot.wall_s += CostModel::compute_time_s(train_flops, profile(k),
+                                           fate.latency_multiplier);
+  // The device holds its refreshed resident sub-model from here on —
+  // local training happened whatever the uplink does next.
+  auto& state = edge_states_[static_cast<std::size_t>(k)];
+  state.spec = der.spec;
+  state.model = std::move(submodel);
+
+  if (fate.crashes_before_upload) {
+    slot.outcome = DeviceRoundSlot::Outcome::kDropped;
+    return;
+  }
+  if (fate.corruption != CorruptionKind::kNone) {
+    Rng crng = faults_->payload_rng(round_idx, k);
+    apply_corruption(up, fate.corruption, crng);
+  }
+  if (!faulted_transfer(round_idx, k, /*transfer_idx=*/1, up.payload_bytes(),
+                        fate, slot)) {
+    slot.outcome = DeviceRoundSlot::Outcome::kDropped;  // upload lost
+    return;
+  }
+  slot.ledger.record_upload(up.payload_bytes());
+
+  if (policy.round_deadline_s > 0.0 && slot.wall_s > policy.round_deadline_s) {
+    slot.straggled = true;
+    if (policy.staleness_factor <= 0.0f) {
+      // Discarded update: the report's contract records weight 0 (not the
+      // configured factor, which may be negative).
+      slot.staleness_weight = 0.0;
+      slot.outcome = DeviceRoundSlot::Outcome::kCut;
+      return;
+    }
+    // Down-weight the stale update instead of discarding it.
+    slot.staleness_weight = static_cast<double>(policy.staleness_factor);
+    for (auto& layer : up.importance) {
+      for (auto& v : layer) v *= policy.staleness_factor;
+    }
+    up.num_samples = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(static_cast<double>(up.num_samples) *
+                            policy.staleness_factor)));
+  }
+
+  obs::WallTimer validate_timer;
+  {
+    NEBULA_SPAN("round.validate");
+    slot.verdict = validate_update(*cloud_, up, policy.norm_bound_rms);
+  }
+  slot.phases.validate_s += validate_timer.elapsed_s();
+  if (slot.verdict != UpdateVerdict::kOk) {
+    slot.outcome = DeviceRoundSlot::Outcome::kRejected;  // quarantined
+    return;
+  }
+  slot.update = std::move(up);
+  slot.outcome = DeviceRoundSlot::Outcome::kCompleted;
+}
+
 RoundReport NebulaSystem::round() {
   NEBULA_SPAN("nebula.round");
   const std::int64_t round_idx = round_index_++;
@@ -260,116 +377,69 @@ RoundReport NebulaSystem::round() {
   const std::int64_t m = std::min(cfg_.devices_per_round, n);
   auto pick = rng_.choose(static_cast<std::size_t>(n),
                           static_cast<std::size_t>(m));
+
+  // The per-device leg is embarrassingly parallel: fates and training seeds
+  // are derived per (round, device), and each device touches only its own
+  // slot plus its own entries of edge_states_ / selector_cached_. Exceptions
+  // are captured per slot (a throw on a worker thread would terminate the
+  // process) and rethrown on this thread during the ordered merge.
+  std::vector<DeviceRoundSlot> slots(pick.size());
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    slots[i].device = static_cast<std::int64_t>(pick[i]);
+  }
+  ThreadPool::global().parallel_for(
+      0, slots.size(),
+      [&](std::size_t i) {
+        try {
+          run_round_device(round_idx, slots[i]);
+        } catch (...) {
+          slots[i].error = std::current_exception();
+        }
+      },
+      /*grain=*/1);
+
+  // Ordered merge: bit-identical whatever the worker count, because every
+  // slot was computed by the same per-device code path and is folded in
+  // participant order here (float accumulation order included).
   std::vector<EdgeUpdate> updates;
   double round_wall_s = 0.0;
   bool straggler_cut = false;
   double entropy_sum = 0.0, imbalance_sum = 0.0;
   std::int64_t routing_samples = 0;
-  for (std::size_t i = 0; i < pick.size(); ++i) {
-    const std::int64_t k = static_cast<std::int64_t>(pick[i]);
+  for (auto& slot : slots) {
+    if (slot.error) std::rethrow_exception(slot.error);
+    const std::int64_t k = slot.device;
     rep.participants.push_back(k);
-    const DeviceFate fate =
-        faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
-    if (fate.dropped) {  // never checked in
-      rep.dropped.push_back(k);
-      continue;
-    }
-
-    obs::WallTimer derive_timer;
-    DerivationResult der;
-    {
-      NEBULA_SPAN("round.derive");
-      const auto importance = device_importance(k);
-      der = derive_with(importance, k);
-      // Soft routing view over this participant's importance scores,
-      // averaged per layer; accumulated into the round report.
-      for (const auto& layer : importance) {
-        const obs::RoutingStats rs = obs::routing_stats(layer);
-        entropy_sum += rs.normalized_entropy;
-        imbalance_sum += rs.imbalance;
-        ++routing_samples;
-      }
-    }
-    rep.host_phases.derive_s += derive_timer.elapsed_s();
-    const std::int64_t dl_bytes = download_bytes(der.spec, k);
-    double wall_s = 0.0;
-    if (!faulted_transfer(round_idx, k, /*transfer_idx=*/0, dl_bytes, fate,
-                          rep, wall_s)) {
-      rep.dropped.push_back(k);  // dead link, sub-model never arrived
-      continue;
-    }
-    ledger_.record_download(dl_bytes);
-    mark_selector_cached(k);
-
-    obs::WallTimer train_timer;
-    auto submodel = cloud_->derive_submodel(der.spec);
-    EdgeUpdate up;
-    {
-      NEBULA_SPAN("round.train");
-      up = train_and_pack(k, *submodel);
-    }
-    rep.host_phases.train_s += train_timer.elapsed_s();
-    const double train_flops =
-        3.0 * static_cast<double>(submodel->forward_flops(cfg_.top_k)) *
-        static_cast<double>(pop_.local_data(k).size()) *
-        static_cast<double>(cfg_.edge.epochs);
-    wall_s += CostModel::compute_time_s(train_flops, profile(k),
-                                        fate.latency_multiplier);
-    // The device holds its refreshed resident sub-model from here on —
-    // local training happened whatever the uplink does next.
-    auto& state = edge_states_[static_cast<std::size_t>(k)];
-    state.spec = der.spec;
-    state.model = std::move(submodel);
-
-    if (fate.crashes_before_upload) {
-      rep.dropped.push_back(k);
-      continue;
-    }
-    if (fate.corruption != CorruptionKind::kNone) {
-      Rng crng = faults_->payload_rng(round_idx, k);
-      apply_corruption(up, fate.corruption, crng);
-    }
-    if (!faulted_transfer(round_idx, k, /*transfer_idx=*/1,
-                          up.payload_bytes(), fate, rep, wall_s)) {
-      rep.dropped.push_back(k);  // upload lost after all retries
-      continue;
-    }
-    ledger_.record_upload(up.payload_bytes());
-
-    if (policy.round_deadline_s > 0.0 && wall_s > policy.round_deadline_s) {
+    rep.transfer_retries += slot.transfer_retries;
+    rep.attempted_bytes += slot.attempted_bytes;
+    ledger_.merge(slot.ledger);
+    rep.host_phases.derive_s += slot.phases.derive_s;
+    rep.host_phases.train_s += slot.phases.train_s;
+    rep.host_phases.validate_s += slot.phases.validate_s;
+    entropy_sum += slot.entropy_sum;
+    imbalance_sum += slot.imbalance_sum;
+    routing_samples += slot.routing_samples;
+    if (slot.straggled) {
       rep.straggled.push_back(k);
-      rep.staleness_weights.push_back(
-          static_cast<double>(policy.staleness_factor));
-      if (policy.staleness_factor <= 0.0f) {
+      rep.staleness_weights.push_back(slot.staleness_weight);
+    }
+    switch (slot.outcome) {
+      case DeviceRoundSlot::Outcome::kDropped:
+        rep.dropped.push_back(k);
+        break;
+      case DeviceRoundSlot::Outcome::kCut:
         straggler_cut = true;  // server closed the round without it
-        continue;
-      }
-      // Down-weight the stale update instead of discarding it.
-      for (auto& layer : up.importance) {
-        for (auto& v : layer) v *= policy.staleness_factor;
-      }
-      up.num_samples = std::max<std::int64_t>(
-          1, static_cast<std::int64_t>(std::llround(
-                 static_cast<double>(up.num_samples) *
-                 policy.staleness_factor)));
+        break;
+      case DeviceRoundSlot::Outcome::kRejected:
+        rep.rejected.push_back(k);  // quarantined, never touches the cloud
+        emit_quarantine_event(round_idx, k, slot.verdict);
+        break;
+      case DeviceRoundSlot::Outcome::kCompleted:
+        rep.completed.push_back(k);
+        round_wall_s = std::max(round_wall_s, slot.wall_s);
+        updates.push_back(std::move(slot.update));
+        break;
     }
-
-    obs::WallTimer validate_timer;
-    UpdateVerdict verdict;
-    {
-      NEBULA_SPAN("round.validate");
-      verdict = validate_update(*cloud_, up, policy.norm_bound_rms);
-    }
-    rep.host_phases.validate_s += validate_timer.elapsed_s();
-    if (verdict != UpdateVerdict::kOk) {
-      rep.rejected.push_back(k);  // quarantined, never touches the cloud
-      emit_quarantine_event(round_idx, k, verdict);
-      continue;
-    }
-
-    rep.completed.push_back(k);
-    round_wall_s = std::max(round_wall_s, wall_s);
-    updates.push_back(std::move(up));
   }
   rep.wall_time_s = straggler_cut
                         ? std::max(round_wall_s, policy.round_deadline_s)
@@ -429,14 +499,21 @@ void NebulaSystem::adapt_device(std::int64_t k, bool query_cloud,
     state.model = cloud_->derive_submodel(der.spec);
   }
   if (!local_train) return;
+  // Per-(call, device) derived stream instead of a draw from the shared
+  // rng_: device A's adaptation history never shifts device B's seeds.
+  const std::uint64_t seed = derive_stream_seed(
+      cfg_.seed, adapt_counts_[static_cast<std::size_t>(k)]++, k,
+      kAdaptTrainSalt);
   if (!upload) {
     TrainConfig edge_cfg = cfg_.edge;
-    edge_cfg.seed = rng_.next_u64();
+    edge_cfg.seed = seed;
     train_modular(*state.model, *selector_, pop_.local_data(k), edge_cfg);
     return;
   }
-  EdgeUpdate up = train_and_pack(k, *state.model);
+  EdgeUpdate up = train_and_pack(k, *state.model, seed);
   ledger_.record_upload(up.payload_bytes());
+  // Deliberately online_mix (< 1), unlike round(): a single device's update
+  // aggregated at weight 1 would overwrite fleet knowledge (DESIGN.md §5).
   aggregate_module_wise(*cloud_, {up}, cfg_.weighting, cfg_.online_mix);
 }
 
@@ -444,13 +521,24 @@ float NebulaSystem::eval_device(std::int64_t k, std::int64_t test_n) {
   auto& state = edge_states_.at(static_cast<std::size_t>(k));
   if (!state.model) adapt_device(k, /*query_cloud=*/true, false, false);
   Dataset test = pop_.device_test(k, test_n);
-  return evaluate_modular(*state.model, *selector_, test, cfg_.top_k);
+  return eval_resident_on(k, test);
 }
 
 float NebulaSystem::eval_derived(std::int64_t k, std::int64_t test_n) {
+  Dataset test = pop_.device_test(k, test_n);
+  return eval_derived_on(k, test);
+}
+
+float NebulaSystem::eval_resident_on(std::int64_t k, const Dataset& test) {
+  auto& state = edge_states_.at(static_cast<std::size_t>(k));
+  NEBULA_CHECK_MSG(state.model != nullptr,
+                   "device " << k << " holds no resident sub-model");
+  return evaluate_modular(*state.model, *selector_, test, cfg_.top_k);
+}
+
+float NebulaSystem::eval_derived_on(std::int64_t k, const Dataset& test) {
   DerivationResult der = derive(k);
   auto submodel = cloud_->derive_submodel(der.spec);
-  Dataset test = pop_.device_test(k, test_n);
   return evaluate_modular(*submodel, *selector_, test, cfg_.top_k);
 }
 

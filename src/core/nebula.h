@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <optional>
 #include <string>
@@ -110,7 +111,10 @@ struct NebulaConfig {
   AggregationWeighting weighting = AggregationWeighting::kImportance;
   /// Server mixing rate for single-device continuous updates (adapt_device
   /// with upload): blend the device's update into the cloud instead of
-  /// replacing module state outright. Full rounds always use 1.0.
+  /// replacing module state outright. Full rounds always use 1.0 — the
+  /// asymmetry is intentional (DESIGN.md §5): a multi-device round already
+  /// averages across the fleet, while aggregating one device's update with
+  /// weight 1 would overwrite fleet knowledge.
   float online_mix = 0.25f;
   /// Device budget as a fraction of the *original* model cost (the paper's
   /// sub-model size ratio), interpolated over the fleet's memory capacities:
@@ -160,6 +164,11 @@ class NebulaSystem {
   /// retry with capped exponential backoff, estimates past the deadline are
   /// dropped or down-weighted, uploads are validated and quarantined before
   /// touching the cloud, and aggregation is skipped below quorum.
+  ///
+  /// Per-device work runs on `ThreadPool::global()` and is bit-identical to
+  /// serial execution for any worker count (DESIGN.md §11): training seeds
+  /// are derived per (round, device), every device accumulates into a
+  /// private slot, and slots merge in participant order after the barrier.
   RoundReport round();
 
   /// Fine-grained step for continuous-adaptation experiments: refresh device
@@ -175,6 +184,16 @@ class NebulaSystem {
 
   /// Accuracy of a sub-model freshly derived from the current cloud model.
   float eval_derived(std::int64_t k, std::int64_t test_n = 256);
+
+  /// Pure evaluation of device k's resident sub-model on a caller-provided
+  /// test set. Requires the resident model to exist (throws otherwise): no
+  /// lazy adaptation, no test-set draw, no ledger traffic — safe to call
+  /// for distinct devices concurrently (experiment eval loops do).
+  float eval_resident_on(std::int64_t k, const Dataset& test);
+
+  /// Same, evaluating a sub-model freshly derived from the current cloud
+  /// model (derivation and sub-model cloning are const on the cloud).
+  float eval_derived_on(std::int64_t k, const Dataset& test);
 
   // ---- Introspection ----------------------------------------------------------
 
@@ -211,7 +230,7 @@ class NebulaSystem {
 
   /// Commits the selector-cache flag after a successful first download.
   void mark_selector_cached(std::int64_t device) {
-    selector_cached_.at(static_cast<std::size_t>(device)) = true;
+    selector_cached_.at(static_cast<std::size_t>(device)) = 1;
   }
 
   /// Builds an executable sub-model from the current cloud model.
@@ -231,20 +250,50 @@ class NebulaSystem {
     SubmodelSpec spec;
   };
 
+  /// Per-participant working state for one round. Inside the parallel
+  /// region each device writes only its own slot (plus its own entries of
+  /// edge_states_ / selector_cached_); round() merges slots in participant
+  /// order after the barrier, which is what keeps the report, the ledger
+  /// and the aggregation order bit-identical to serial execution.
+  struct DeviceRoundSlot {
+    enum class Outcome { kDropped, kCut, kRejected, kCompleted };
+    std::int64_t device = -1;
+    Outcome outcome = Outcome::kDropped;
+    bool straggled = false;
+    double staleness_weight = 0.0;    // 0 when the update was discarded
+    UpdateVerdict verdict = UpdateVerdict::kOk;
+    EdgeUpdate update;                // valid only when kCompleted
+    double wall_s = 0.0;              // simulated device wall time
+    std::int64_t transfer_retries = 0;
+    std::int64_t attempted_bytes = 0;
+    CommLedger ledger;                // this device's traffic delta
+    double entropy_sum = 0.0;
+    double imbalance_sum = 0.0;
+    std::int64_t routing_samples = 0;
+    RoundPhaseTimes phases;           // host-time contributions
+    std::exception_ptr error;         // rethrown on the caller after merge
+  };
+
   std::vector<std::int64_t> proxy_subtasks(const SyntheticData& proxy) const;
   /// Derivation from pre-computed importance scores — round() scores each
   /// participant once and reuses the result for both derivation and the
   /// report's routing statistics.
   DerivationResult derive_with(
       const std::vector<std::vector<double>>& importance, std::int64_t k);
-  EdgeUpdate train_and_pack(std::int64_t k, ModularModel& submodel);
+  /// The whole per-device leg of one round (derive → download → train →
+  /// upload → validate), writing into the device's slot only.
+  void run_round_device(std::int64_t round_idx, DeviceRoundSlot& slot);
+  /// `seed` is derived per (round, device) / per adaptation call rather
+  /// than drawn from the shared rng_, so concurrent devices never race on
+  /// (or reorder) a shared stream.
+  EdgeUpdate train_and_pack(std::int64_t k, ModularModel& submodel,
+                            std::uint64_t seed);
   /// Runs one transfer (download/upload) with retry + capped exponential
-  /// backoff. Returns success; accumulates wall time, ledger traffic
-  /// (goodput on success, waste on failures) and the report's retry count.
+  /// backoff. Returns success; accumulates wall time, traffic (goodput on
+  /// success, waste on failures) and retries into the device's slot.
   bool faulted_transfer(std::int64_t round_idx, std::int64_t k,
                         std::int64_t transfer_idx, std::int64_t bytes,
-                        const DeviceFate& fate, RoundReport& report,
-                        double& wall_s);
+                        const DeviceFate& fate, DeviceRoundSlot& slot);
   void apply_corruption(EdgeUpdate& up, CorruptionKind kind, Rng& rng) const;
 
   std::unique_ptr<ModularModel> cloud_;
@@ -254,7 +303,13 @@ class NebulaSystem {
   NebulaConfig cfg_;
   std::unique_ptr<SubmodelDerivation> derivation_;
   std::vector<EdgeState> edge_states_;
-  std::vector<bool> selector_cached_;
+  /// Byte-per-device on purpose: vector<bool> packs neighbouring devices
+  /// into one byte, and concurrent per-device writes in the parallel round
+  /// would race on the shared byte.
+  std::vector<std::uint8_t> selector_cached_;
+  /// Per-device count of local-training adaptation calls; coordinates for
+  /// adapt_device's derived training seeds (independent across devices).
+  std::vector<std::int64_t> adapt_counts_;
   CommLedger ledger_;
   Rng rng_;
   double cap_max_ = 1.0;

@@ -7,6 +7,7 @@
 #include "nn/state.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace nebula {
 
@@ -184,22 +185,28 @@ AdaptationResult run_adaptation_comparison(TaskEnv& env,
   nebula.offline(env.proxy);
 
   // ---- Warm-up adaptation ------------------------------------------------------
+  // LA/AN adaptation is order-independent across devices (per-(device, call)
+  // derived seeds; each device owns its model slot), so it fans out.
+  auto adapt_la_an = [&](std::int64_t n_devices) {
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n_devices),
+        [&](std::size_t i) {
+          const std::int64_t k = static_cast<std::int64_t>(i);
+          la.adapt_device(k);
+          an.adapt_device(k);
+        },
+        /*grain=*/1);
+  };
   for (std::int64_t r = 0; r < scale.warm_rounds; ++r) {
     fa.round();
     hfl.round();
     nebula.round();
   }
-  for (std::int64_t k = 0; k < eval_n; ++k) {
-    la.adapt_device(k);
-    an.adapt_device(k);
-  }
+  adapt_la_an(eval_n);
 
   // ---- Environment shift + one adaptation step ---------------------------------
   pop.shift_all();
-  for (std::int64_t k = 0; k < eval_n; ++k) {
-    la.adapt_device(k);
-    an.adapt_device(k);
-  }
+  adapt_la_an(eval_n);
   fa.round();
   hfl.round();
   nebula.round();
@@ -210,14 +217,48 @@ AdaptationResult run_adaptation_comparison(TaskEnv& env,
   }
 
   // ---- Evaluation ---------------------------------------------------------------
-  AdaptationResult res;
+  // Test-set draws come from the shared population RNG, so they are hoisted
+  // into a serial pass — one test set per device, shared by every method.
+  // The remaining per-device evaluations are pure reads and fan out; sums
+  // accumulate in index order so the result is worker-count independent.
+  std::vector<Dataset> tests;
+  tests.reserve(static_cast<std::size_t>(eval_n));
   for (std::int64_t k = 0; k < eval_n; ++k) {
-    res.na += na.eval_device(k, scale.test_samples);
-    res.la += la.eval_device(k, scale.test_samples);
-    res.an += an.eval_device(k, scale.test_samples);
-    res.fa += fa.eval_device(k, scale.test_samples);
-    res.hfl += hfl.eval_device(k, scale.test_samples);
-    res.nebula += nebula.eval_device(k, scale.test_samples);
+    tests.push_back(pop.device_test(k, scale.test_samples));
+  }
+  hfl.refresh_eval_models();  // serial: tier construction hits the init RNG
+  struct EvalSlot {
+    double na = 0.0, la = 0.0, an = 0.0;
+    double fa = 0.0, hfl = 0.0, nebula = 0.0;
+    std::exception_ptr error;
+  };
+  std::vector<EvalSlot> eval_slots(tests.size());
+  ThreadPool::global().parallel_for(
+      0, tests.size(),
+      [&](std::size_t i) {
+        EvalSlot& s = eval_slots[i];
+        try {
+          const std::int64_t k = static_cast<std::int64_t>(i);
+          s.na = na.eval_on(tests[i]);
+          s.la = la.eval_on(k, tests[i]);
+          s.an = an.eval_on(k, tests[i]);
+          s.fa = fa.eval_on(tests[i]);
+          s.hfl = hfl.eval_on(k, tests[i]);
+          s.nebula = nebula.eval_resident_on(k, tests[i]);
+        } catch (...) {
+          s.error = std::current_exception();
+        }
+      },
+      /*grain=*/1);
+  AdaptationResult res;
+  for (const EvalSlot& s : eval_slots) {
+    if (s.error) std::rethrow_exception(s.error);
+    res.na += s.na;
+    res.la += s.la;
+    res.an += s.an;
+    res.fa += s.fa;
+    res.hfl += s.hfl;
+    res.nebula += s.nebula;
   }
   const double inv = 1.0 / static_cast<double>(eval_n);
   res.na *= inv;
@@ -300,9 +341,35 @@ FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
     res.round_reports.push_back(std::move(rep));
   }
 
+  // Serial test-set draws (population RNG), then pure evals fan out; sums
+  // accumulate in index order (see run_adaptation_comparison).
+  std::vector<Dataset> tests;
+  tests.reserve(static_cast<std::size_t>(eval_n));
   for (std::int64_t k = 0; k < eval_n; ++k) {
-    res.fedavg_acc += fa.eval_device(k, scale.test_samples);
-    res.nebula_acc += sys.eval_derived(k, scale.test_samples);
+    tests.push_back(pop.device_test(k, scale.test_samples));
+  }
+  struct EvalSlot {
+    double fedavg = 0.0, nebula = 0.0;
+    std::exception_ptr error;
+  };
+  std::vector<EvalSlot> eval_slots(tests.size());
+  ThreadPool::global().parallel_for(
+      0, tests.size(),
+      [&](std::size_t i) {
+        EvalSlot& s = eval_slots[i];
+        try {
+          s.fedavg = fa.eval_on(tests[i]);
+          s.nebula =
+              sys.eval_derived_on(static_cast<std::int64_t>(i), tests[i]);
+        } catch (...) {
+          s.error = std::current_exception();
+        }
+      },
+      /*grain=*/1);
+  for (const EvalSlot& s : eval_slots) {
+    if (s.error) std::rethrow_exception(s.error);
+    res.fedavg_acc += s.fedavg;
+    res.nebula_acc += s.nebula;
   }
   const double inv = 1.0 / static_cast<double>(eval_n);
   res.fedavg_acc *= inv;

@@ -135,6 +135,20 @@ class CommLedger {
     download_attempts_ = upload_attempts_ = failed_attempts_ = 0;
   }
 
+  /// Folds another ledger's totals into this one. The parallel round
+  /// protocol gives each device a private delta ledger and merges them in
+  /// participant order after the barrier, so the system ledger never sees
+  /// concurrent writes.
+  void merge(const CommLedger& other) {
+    download_bytes_ += other.download_bytes_;
+    upload_bytes_ += other.upload_bytes_;
+    wasted_download_bytes_ += other.wasted_download_bytes_;
+    wasted_upload_bytes_ += other.wasted_upload_bytes_;
+    download_attempts_ += other.download_attempts_;
+    upload_attempts_ += other.upload_attempts_;
+    failed_attempts_ += other.failed_attempts_;
+  }
+
   std::int64_t download_bytes() const { return download_bytes_; }
   std::int64_t upload_bytes() const { return upload_bytes_; }
   std::int64_t total_bytes() const { return download_bytes_ + upload_bytes_; }

@@ -20,14 +20,6 @@ namespace {
 
 bool is_prob(double p) { return p >= 0.0 && p <= 1.0; }
 
-// splitmix64 finaliser: decorrelates the structured (round, device, salt)
-// coordinates before they seed a fate stream.
-std::uint64_t mix(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 }  // namespace
 
 void FaultConfig::validate() const {
@@ -50,11 +42,10 @@ FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg) { cfg_.validate(); }
 
 Rng FaultInjector::stream(std::int64_t round, std::int64_t device,
                           std::uint64_t salt) const {
-  std::uint64_t s = cfg_.seed;
-  s = mix(s ^ (static_cast<std::uint64_t>(round) + 0x9e3779b97f4a7c15ULL));
-  s = mix(s ^ (static_cast<std::uint64_t>(device) + 0x7f4a7c159e3779b9ULL));
-  s = mix(s ^ salt);
-  return Rng(s);
+  // Decorrelates the structured (round, device, salt) coordinates before
+  // they seed a fate stream; shared with the round protocol's per-device
+  // training seeds so both stay order-independent.
+  return Rng(derive_stream_seed(cfg_.seed, round, device, salt));
 }
 
 DeviceFate FaultInjector::device_fate(std::int64_t round,

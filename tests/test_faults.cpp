@@ -277,6 +277,33 @@ TEST(FaultTolerantRound, DeadlineDropsOrDownWeightsStragglers) {
   EXPECT_NE(cloud_snapshot(stale), before2);
 }
 
+TEST(FaultTolerantRound, StalenessWeightsParallelStraggledOnCutPath) {
+  // Regression: RoundReport documents staleness_weights as parallel to
+  // `straggled` with 0 for discarded updates. The straggler-cut path used to
+  // skip the push entirely, leaving the two vectors out of step.
+  FaultWorld world;
+  NebulaConfig cfg;
+  cfg.fault_policy.round_deadline_s = 1e-9;  // everyone is late
+  cfg.fault_policy.staleness_factor = 0.0f;  // late = discarded
+  auto sys = world.make_system(cfg);
+  sys.offline(world.proxy);
+  const RoundReport rep = sys.round();
+  ASSERT_GT(rep.straggled.size(), 0u);
+  ASSERT_EQ(rep.staleness_weights.size(), rep.straggled.size());
+  for (double w : rep.staleness_weights) EXPECT_EQ(w, 0.0);
+
+  // Kept stragglers record the configured factor instead.
+  FaultWorld world2;
+  NebulaConfig keep;
+  keep.fault_policy.round_deadline_s = 1e-9;
+  keep.fault_policy.staleness_factor = 0.25f;
+  auto kept = world2.make_system(keep);
+  kept.offline(world2.proxy);
+  const RoundReport rep2 = kept.round();
+  ASSERT_EQ(rep2.staleness_weights.size(), rep2.straggled.size());
+  for (double w : rep2.staleness_weights) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
 TEST(FaultTolerantRound, FlakyLinksRetryAndAccountOverhead) {
   FaultWorld world;
   NebulaConfig cfg;

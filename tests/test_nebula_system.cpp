@@ -152,6 +152,56 @@ TEST(NebulaSystem, AdaptDeviceVariantsMaintainResidentModel) {
   EXPECT_GT(sys.ledger().upload_bytes(), ul_before);
 }
 
+TEST(NebulaSystem, OnlineMixGatesUploadsButNotRounds) {
+  // DESIGN.md §5: online_mix applies ONLY to single-device continuous
+  // uploads (adapt_device with upload=true) — a full round already averages
+  // across the fleet and always aggregates at full weight. Pin both halves
+  // of the asymmetry so an accidental "unification" fails loudly.
+  auto snapshot = [](NebulaSystem& s) {
+    std::vector<float> snap = s.cloud().shared_state();
+    for (std::size_t l = 0; l < s.cloud().num_module_layers(); ++l) {
+      for (std::int64_t gid = 0; gid < s.cloud().full_widths()[l]; ++gid) {
+        const auto st = s.cloud().module_state(l, gid);
+        snap.insert(snap.end(), st.begin(), st.end());
+      }
+    }
+    return snap;
+  };
+
+  NebulaConfig lo, hi;  // aggregation requires mix in (0, 1]
+  lo.online_mix = 0.05f;
+  hi.online_mix = 1.0f;
+
+  // Half 1: the mix scales how much of a single-device upload reaches the
+  // cloud — identical systems differing only in online_mix diverge after
+  // one adapt_device upload.
+  {
+    SmallWorld w1, w2;
+    auto a = w1.make_system(lo);
+    auto b = w2.make_system(hi);
+    a.offline(w1.proxy);
+    b.offline(w2.proxy);
+    a.adapt_device(1, /*query_cloud=*/true, /*local_train=*/true,
+                   /*upload=*/true);
+    b.adapt_device(1, /*query_cloud=*/true, /*local_train=*/true,
+                   /*upload=*/true);
+    EXPECT_NE(snapshot(a), snapshot(b));
+  }
+
+  // Half 2: round() ignores online_mix entirely — the same two configs
+  // produce bit-identical clouds after a full round.
+  {
+    SmallWorld w1, w2;
+    auto a = w1.make_system(lo);
+    auto b = w2.make_system(hi);
+    a.offline(w1.proxy);
+    b.offline(w2.proxy);
+    a.round();
+    b.round();
+    EXPECT_EQ(snapshot(a), snapshot(b));
+  }
+}
+
 TEST(NebulaSystem, EvalDeviceUsesResidentModel) {
   SmallWorld world;
   auto sys = world.make_system();

@@ -1,0 +1,263 @@
+// Serial-vs-parallel equivalence: a round executed on a 1-thread pool and on
+// a multi-worker pool must produce bit-identical reports, ledgers and model
+// states (per-(round, device) seed streams + index-ordered slot merges).
+//
+// This suite lives in its own binary (ctest label `parallel`) so it can swap
+// the global thread pool freely and be run under a TSan build:
+//   cmake -B build-tsan -S . -DNEBULA_TSAN=ON && cmake --build build-tsan
+//   ctest --test-dir build-tsan -L parallel
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "baselines/fedavg.h"
+#include "baselines/heterofl.h"
+#include "core/model_zoo.h"
+#include "core/nebula.h"
+#include "nn/init.h"
+#include "nn/state.h"
+#include "parallel/thread_pool.h"
+#include "sim/faults.h"
+
+namespace nebula {
+namespace {
+
+constexpr std::size_t kSerialWorkers = 1;
+constexpr std::size_t kParallelWorkers = 4;
+
+// Runs `fn` with the global pool replaced by a pool of `workers` threads.
+template <typename Fn>
+void with_pool(std::size_t workers, Fn&& fn) {
+  ThreadPool pool(workers);
+  ThreadPool* prev = ThreadPool::set_global(&pool);
+  fn();
+  ThreadPool::set_global(prev);
+}
+
+// Bitwise float-vector equality: corrupted uploads legitimately put NaNs in
+// baseline model states, and NaN != NaN would fail EXPECT_EQ on states that
+// are in fact bit-identical.
+void expect_states_bitwise_equal(const std::vector<float>& a,
+                                 const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+// Mirrors the SmallWorld fixture of test_nebula_system.cpp: a 10-device
+// HAR-like fleet (MLP models — their train/eval kernels are bit-identical
+// for any pool size, unlike Conv2d's timing-ordered gradient reduction).
+struct World {
+  std::unique_ptr<SyntheticGenerator> gen;
+  std::unique_ptr<EdgePopulation> pop;
+  std::vector<DeviceProfile> profiles;
+  SyntheticData proxy;
+
+  explicit World(std::uint64_t seed = 88) {
+    auto spec = har_like_spec();
+    gen = std::make_unique<SyntheticGenerator>(spec, seed);
+    PartitionConfig pc;
+    pc.num_devices = 10;
+    pc.classes_per_device = 0;
+    pc.clusters_per_device = 2;
+    pc.seed = seed + 1;
+    pop = std::make_unique<EdgePopulation>(*gen, pc);
+    ProfileSampler sampler(seed + 2);
+    profiles = sampler.sample_fleet(10);
+    proxy = pop->proxy_data_ex(800);
+  }
+
+  NebulaSystem make_system(NebulaConfig cfg = {}) {
+    ZooOptions opts;
+    opts.modules_per_layer = 6;
+    opts.init_seed = 909;
+    cfg.devices_per_round = 4;
+    cfg.pretrain.epochs = 4;
+    return NebulaSystem(make_modular_mlp(32, 6, opts), *pop, profiles, cfg);
+  }
+};
+
+std::vector<float> cloud_snapshot(NebulaSystem& sys) {
+  std::vector<float> snap = sys.cloud().shared_state();
+  for (std::size_t l = 0; l < sys.cloud().num_module_layers(); ++l) {
+    for (std::int64_t gid = 0; gid < sys.cloud().full_widths()[l]; ++gid) {
+      const auto s = sys.cloud().module_state(l, gid);
+      snap.insert(snap.end(), s.begin(), s.end());
+    }
+  }
+  return snap;
+}
+
+// Exact equality on every deterministic RoundReport field. host_phases is
+// measured host time and is deliberately excluded.
+void expect_reports_identical(const RoundReport& a, const RoundReport& b) {
+  EXPECT_EQ(a.round_index, b.round_index);
+  EXPECT_EQ(a.participants, b.participants);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.straggled, b.straggled);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.transfer_retries, b.transfer_retries);
+  EXPECT_EQ(a.staleness_weights, b.staleness_weights);
+  EXPECT_EQ(a.goodput_bytes, b.goodput_bytes);
+  EXPECT_EQ(a.overhead_bytes, b.overhead_bytes);
+  EXPECT_EQ(a.attempted_bytes, b.attempted_bytes);
+  EXPECT_EQ(a.routing_entropy, b.routing_entropy);
+  EXPECT_EQ(a.routing_imbalance, b.routing_imbalance);
+  EXPECT_EQ(a.wall_time_s, b.wall_time_s);
+  EXPECT_EQ(a.aggregated, b.aggregated);
+}
+
+void expect_ledgers_identical(const CommLedger& a, const CommLedger& b) {
+  EXPECT_EQ(a.download_bytes(), b.download_bytes());
+  EXPECT_EQ(a.upload_bytes(), b.upload_bytes());
+  EXPECT_EQ(a.overhead_bytes(), b.overhead_bytes());
+  EXPECT_EQ(a.download_attempts(), b.download_attempts());
+  EXPECT_EQ(a.upload_attempts(), b.upload_attempts());
+  EXPECT_EQ(a.failed_attempts(), b.failed_attempts());
+}
+
+// Builds two identical systems, runs `rounds` rounds on a serial pool and a
+// multi-worker pool respectively, and asserts bit-identical outcomes.
+void expect_serial_parallel_identical(NebulaConfig cfg,
+                                      const FaultConfig* faults,
+                                      int rounds = 3) {
+  World w1, w2;
+  auto serial = w1.make_system(cfg);
+  auto parallel = w2.make_system(cfg);
+  if (faults != nullptr) {
+    serial.inject_faults(*faults);
+    parallel.inject_faults(*faults);
+  }
+  // Offline runs under the (shared) default pool for both systems.
+  serial.offline(w1.proxy);
+  parallel.offline(w2.proxy);
+
+  std::vector<RoundReport> sr, pr;
+  with_pool(kSerialWorkers, [&] {
+    for (int r = 0; r < rounds; ++r) sr.push_back(serial.round());
+  });
+  with_pool(kParallelWorkers, [&] {
+    for (int r = 0; r < rounds; ++r) pr.push_back(parallel.round());
+  });
+
+  ASSERT_EQ(sr.size(), pr.size());
+  for (std::size_t r = 0; r < sr.size(); ++r) {
+    SCOPED_TRACE("round " + std::to_string(r));
+    expect_reports_identical(sr[r], pr[r]);
+  }
+  expect_ledgers_identical(serial.ledger(), parallel.ledger());
+  expect_states_bitwise_equal(cloud_snapshot(serial),
+                              cloud_snapshot(parallel));
+}
+
+TEST(ParallelRound, ZeroFaultRoundsAreBitIdentical) {
+  expect_serial_parallel_identical(NebulaConfig{}, nullptr);
+}
+
+TEST(ParallelRound, FaultyRoundsAreBitIdentical) {
+  // Drops, corrupted uploads, flaky links and slow devices all at once: the
+  // fault paths (retry accounting, quarantine, per-device ledger deltas)
+  // must merge identically for any worker count.
+  NebulaConfig cfg;
+  cfg.fault_policy.max_transfer_attempts = 4;
+  FaultConfig fc;
+  fc.dropout_prob = 0.25;
+  fc.corruption_prob = 0.3;
+  fc.transfer_failure_prob = 0.3;
+  fc.straggler_prob = 0.3;
+  fc.seed = 4242;
+  expect_serial_parallel_identical(cfg, &fc, /*rounds=*/4);
+}
+
+TEST(ParallelRound, StragglerDownWeightingIsBitIdentical) {
+  // Everyone misses the deadline and is kept with a staleness weight — the
+  // down-weighted aggregation path must also be order-stable.
+  NebulaConfig cfg;
+  cfg.fault_policy.round_deadline_s = 1e-9;
+  cfg.fault_policy.staleness_factor = 0.25f;
+  expect_serial_parallel_identical(cfg, nullptr);
+}
+
+TEST(ParallelRound, FedAvgRoundsAreBitIdentical) {
+  World w1, w2;
+  FedAvgConfig cfg;
+  cfg.devices_per_round = 4;
+  TrainConfig pre;
+  pre.epochs = 3;
+  FaultConfig fc;
+  fc.dropout_prob = 0.25;
+  fc.corruption_prob = 0.25;
+  fc.seed = 77;
+  FaultInjector inj_a(fc), inj_b(fc);
+
+  init::reseed(501);
+  FedAvg serial(make_plain_mlp(32, 6, 1.0), *w1.pop, cfg);
+  serial.pretrain(w1.proxy.data, pre);
+  serial.set_fault_injector(&inj_a);
+  init::reseed(501);
+  FedAvg parallel(make_plain_mlp(32, 6, 1.0), *w2.pop, cfg);
+  parallel.pretrain(w2.proxy.data, pre);
+  parallel.set_fault_injector(&inj_b);
+
+  std::vector<std::vector<std::int64_t>> sp, pp;
+  with_pool(kSerialWorkers, [&] {
+    for (int r = 0; r < 3; ++r) sp.push_back(serial.round());
+  });
+  with_pool(kParallelWorkers, [&] {
+    for (int r = 0; r < 3; ++r) pp.push_back(parallel.round());
+  });
+  EXPECT_EQ(sp, pp);
+  expect_states_bitwise_equal(get_state(serial.global()),
+                              get_state(parallel.global()));
+  expect_ledgers_identical(serial.ledger(), parallel.ledger());
+}
+
+TEST(ParallelRound, HeteroFLRoundsAreBitIdentical) {
+  World w1, w2;
+  HeteroFLConfig cfg;
+  cfg.devices_per_round = 4;
+  TrainConfig pre;
+  pre.epochs = 2;
+  auto factory = [](double w) { return make_plain_mlp(32, 6, w); };
+
+  init::reseed(502);
+  HeteroFL serial(factory, *w1.pop, w1.profiles, cfg);
+  serial.pretrain(w1.proxy.data, pre);
+  init::reseed(502);
+  HeteroFL parallel(factory, *w2.pop, w2.profiles, cfg);
+  parallel.pretrain(w2.proxy.data, pre);
+
+  std::vector<std::vector<std::int64_t>> sp, pp;
+  with_pool(kSerialWorkers, [&] {
+    for (int r = 0; r < 3; ++r) sp.push_back(serial.round());
+  });
+  with_pool(kParallelWorkers, [&] {
+    for (int r = 0; r < 3; ++r) pp.push_back(parallel.round());
+  });
+  EXPECT_EQ(sp, pp);
+  expect_states_bitwise_equal(get_state(serial.global()),
+                              get_state(parallel.global()));
+  expect_ledgers_identical(serial.ledger(), parallel.ledger());
+}
+
+TEST(ParallelRound, TrainSeedsDoNotCollideAcrossProtocolFamilies) {
+  // The per-(round, device) stream families must stay disjoint: identical
+  // coordinates under different salts must not yield the same seed.
+  const std::uint64_t base = 123;
+  std::vector<std::uint64_t> salts = {0x01, 0x02, 0x03,
+                                      0x10, 0x11, 0x12, 0x13, 0x14, 0x15};
+  for (std::size_t i = 0; i < salts.size(); ++i) {
+    for (std::size_t j = i + 1; j < salts.size(); ++j) {
+      EXPECT_NE(derive_stream_seed(base, 0, 0, salts[i]),
+                derive_stream_seed(base, 0, 0, salts[j]));
+    }
+  }
+  // And within one family, distinct coordinates give distinct seeds.
+  EXPECT_NE(derive_stream_seed(base, 0, 1, 0x10),
+            derive_stream_seed(base, 1, 0, 0x10));
+}
+
+}  // namespace
+}  // namespace nebula
