@@ -6,10 +6,15 @@
 
 #include "core/aggregation.h"
 #include "core/model_zoo.h"
+#include "core/module_layer.h"
 #include "nn/conv.h"
 #include "nn/init.h"
+#include "nn/layers_basic.h"
+#include "nn/sequential.h"
 #include "opt/assignment_lp.h"
 #include "opt/knapsack.h"
+#include "tensor/cpu_features.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -79,6 +84,29 @@ void BM_ConvForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvForward);
 
+// The raw fused product (gemm_im2col, no layer overhead): what the conv
+// forward pays per sample now that the column matrix is never materialised.
+void BM_ConvForwardFused(benchmark::State& state) {
+  Rng rng(12);
+  const Im2colMap map{8, 32, 32, 3, 3, 1, 1};
+  Tensor x({map.channels, map.height, map.width});
+  Tensor w({16, map.rows()}), y({16, map.cols()});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    gemm_im2col(Trans::N, 16, w.data(), map.rows(), x.data(), map, y.data(),
+                map.cols(), false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 16 * map.rows() *
+                          map.cols());
+}
+BENCHMARK(BM_ConvForwardFused);
+
 void BM_ConvTrainStep(benchmark::State& state) {
   init::reseed(4);
   Conv2d conv(8, 8, 3, 1, 1);
@@ -114,6 +142,78 @@ void BM_ModularForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModularForward)->Arg(8)->Arg(16)->Arg(32);
+
+// A module-layer-shaped batch of tiny matmuls — `count` sub-batches through
+// per-module weights — dispatched as one gemm_batched call.
+void BM_GemmBatched(benchmark::State& state) {
+  const std::int64_t count = state.range(0);
+  Rng rng(13);
+  const std::int64_t rows = 4, width = 32, hidden = 24;
+  std::vector<Tensor> as, bs, cs;
+  std::vector<GemmBatchItem> items;
+  for (std::int64_t i = 0; i < count; ++i) {
+    as.emplace_back(Tensor({rows, width}));
+    bs.emplace_back(Tensor({width, hidden}));
+    cs.emplace_back(Tensor({rows, hidden}));
+    for (std::int64_t j = 0; j < as.back().numel(); ++j) {
+      as.back()[static_cast<std::size_t>(j)] = rng.normal();
+    }
+    for (std::int64_t j = 0; j < bs.back().numel(); ++j) {
+      bs.back()[static_cast<std::size_t>(j)] = rng.normal();
+    }
+    items.push_back({rows, hidden, width, as.back().data(), width,
+                     bs.back().data(), hidden, cs.back().data(), hidden});
+  }
+  for (auto _ : state) {
+    gemm_batched(Trans::N, Trans::N, items.data(), items.size(), false);
+    benchmark::DoNotOptimize(cs.front().data());
+  }
+  state.SetItemsProcessed(state.iterations() * count * 2 * rows * hidden *
+                          width);
+}
+BENCHMARK(BM_GemmBatched)->Arg(8)->Arg(16)->Arg(32);
+
+// Inference dispatch through one ModuleLayer of residual MLP modules: the
+// batched fast path vs the generic per-module traversal.
+void BM_ModuleLayerDispatch(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  init::reseed(14);
+  const std::int64_t width = 32, batch = 16, n_modules = 16;
+  std::vector<LayerPtr> mods;
+  for (std::int64_t i = 0; i < n_modules - 1; ++i) {
+    auto seq = std::make_unique<Sequential>();
+    seq->emplace<Linear>(width, 24);
+    seq->emplace<ReLU>();
+    seq->emplace<Linear>(24, width);
+    mods.push_back(std::make_unique<Residual>(std::move(seq)));
+  }
+  mods.push_back(std::make_unique<Identity>());
+  std::vector<std::int64_t> ids(n_modules);
+  for (std::int64_t i = 0; i < n_modules; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  ModuleLayer layer(std::move(mods), std::move(ids), n_modules);
+  layer.set_batched_dispatch(batched);
+  Rng rng(15);
+  Tensor x({batch, width});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  Tensor gates({batch, n_modules});
+  for (std::int64_t i = 0; i < gates.numel(); ++i) {
+    gates[static_cast<std::size_t>(i)] = 0.05f + rng.uniform();
+  }
+  RoutingOpts ropts;
+  ropts.top_k = 2;
+  for (auto _ : state) {
+    Tensor y = layer.forward(x, gates, ropts, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ModuleLayerDispatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("batched");
 
 void BM_Knapsack(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -176,4 +276,15 @@ BENCHMARK(BM_ModuleWiseAggregation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: records which micro-kernel the dispatcher picked
+// and the detected CPU features in the benchmark context, so saved results
+// (tools/perf_trajectory.py) say what hardware path produced them.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("gemm_kernel", nebula::gemm_kernel_name());
+  benchmark::AddCustomContext("cpu_features", nebula::cpu_feature_string());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,7 +2,30 @@
 
 #include <cmath>
 
+#include "parallel/thread_pool.h"
+
 namespace nebula {
+
+namespace {
+
+// All BatchNorm loops below parallelise over the feature axis: each feature's
+// statistics, running-stat update, and output stripe are written by exactly
+// one participant and each per-feature reduction stays serial, so the float
+// results are bit-identical for any worker count or partition (the
+// serial-vs-parallel contract in DESIGN.md §11). Batch-axis partitioning
+// would need a cross-thread reduction whose order depends on the chunking.
+template <typename F>
+void for_each_feature(std::int64_t features, const F& body) {
+  ThreadPool::global().parallel_for_chunked(
+      0, static_cast<std::size_t>(features),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          body(static_cast<std::int64_t>(f));
+        }
+      });
+}
+
+}  // namespace
 
 BatchNorm::BatchNorm(std::int64_t features, float momentum, float eps)
     : features_(features),
@@ -50,7 +73,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
     in_shape_ = x.shape();
     x_hat_ = Tensor(x.shape());
     batch_inv_std_ = Tensor({features_});
-    for (std::int64_t f = 0; f < features_; ++f) {
+    for_each_feature(features_, [&](std::int64_t f) {
       double m = 0.0;
       for (std::int64_t g = 0; g < groups; ++g) {
         for (std::int64_t i = 0; i < inner; ++i) m += xd[index(g, f, i)];
@@ -82,9 +105,9 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
           yd[ix] = gm * xh + bt;
         }
       }
-    }
+    });
   } else {
-    for (std::int64_t f = 0; f < features_; ++f) {
+    for_each_feature(features_, [&](std::int64_t f) {
       const float mu = running_mean_[static_cast<std::size_t>(f)];
       const float inv_std =
           1.0f / std::sqrt(running_var_[static_cast<std::size_t>(f)] + eps_);
@@ -96,7 +119,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
           yd[ix] = gm * (xd[ix] - mu) * inv_std + bt;
         }
       }
-    }
+    });
   }
   return y;
 }
@@ -117,7 +140,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
     return (g * features_ + f) * inner + i;
   };
 
-  for (std::int64_t f = 0; f < features_; ++f) {
+  for_each_feature(features_, [&](std::int64_t f) {
     const float gm = gamma_.value[static_cast<std::size_t>(f)];
     const float inv_std = batch_inv_std_[static_cast<std::size_t>(f)];
     double sum_gy = 0.0, sum_gy_xh = 0.0;
@@ -140,7 +163,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
         dxd[ix] = gm * inv_std * (gy[ix] - mean_gy - xh * mean_gy_xh);
       }
     }
-  }
+  });
   return dx;
 }
 

@@ -46,26 +46,24 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::int64_t col_rows = in_c_ * k_ * k_;
   const std::int64_t col_cols = oh * ow;
   const std::int64_t in_vol = in_c_ * h * w;
+  const Im2colMap map{in_c_, h, w, k_, k_, stride_, pad_};
   Tensor y({n, out_c_, oh, ow});
   ThreadPool& pool = ThreadPool::global();
   const float* xd = x.data();
   const float* wd = w_.value.data();
   const float* bd = has_bias_ ? b_.value.data() : nullptr;
   float* yd = y.data();
-  // Parallel over the batch; each participant lowers into its own persistent
-  // im2col scratch and runs the per-sample GEMM straight into the output
-  // slice (GEMMs inside the region run inline on the owning worker).
+  // Parallel over the batch; the column matrix is never materialised — the
+  // fused GEMM reads the image through the im2col index map in its packing
+  // stage and writes straight into the output slice (GEMMs inside the region
+  // run inline on the owning worker).
   pool.parallel_for_chunked(
       0, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
-        float* col = pool.scratch_floats(
-            ThreadPool::kScratchConvCol,
-            static_cast<std::size_t>(col_rows * col_cols));
         for (std::size_t s = lo; s < hi; ++s) {
           const std::int64_t i = static_cast<std::int64_t>(s);
-          im2col(xd + i * in_vol, in_c_, h, w, k_, k_, stride_, pad_, col);
           float* yi = yd + i * out_c_ * col_cols;
-          gemm(Trans::N, Trans::N, out_c_, col_cols, col_rows, wd, col_rows,
-               col, col_cols, yi, col_cols, /*accumulate=*/false);
+          gemm_im2col(Trans::N, out_c_, wd, col_rows, xd + i * in_vol, map, yi,
+                      col_cols, /*accumulate=*/false);
           if (has_bias_) {
             for (std::int64_t c = 0; c < out_c_; ++c) {
               float* yc = yi + c * col_cols;
@@ -95,6 +93,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   Tensor dx(in_shape_);
   const std::int64_t in_vol = in_c_ * h * w;
+  const Im2colMap map{in_c_, h, w, k_, k_, stride_, pad_};
   ThreadPool& pool = ThreadPool::global();
   const float* xd = cached_input_.data();
   const float* gyd = grad_out.data();
@@ -103,13 +102,13 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   std::mutex grad_mu;  // serialises the per-chunk reduction into w_/b_ grads
   // Parallel over the batch. dx slices are disjoint per sample; dW/db are
   // accumulated into per-worker partials and reduced under a mutex at the end
-  // of each chunk. Both matrix products are GEMM calls — there are no
-  // hand-rolled matrix loops left in this layer.
+  // of each chunk. The dW product reads the input image through the fused
+  // im2col map (no column matrix); only the dx product still materialises
+  // dcol, which col2im then scatters back into image layout.
   pool.parallel_for_chunked(
       0, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
         const std::size_t col_sz =
             static_cast<std::size_t>(col_rows * col_cols);
-        float* col = pool.scratch_floats(ThreadPool::kScratchConvCol, col_sz);
         float* dcol = pool.scratch_floats(ThreadPool::kScratchConvGrad, col_sz);
         float* part = pool.scratch_floats(
             ThreadPool::kScratchConvMat,
@@ -120,10 +119,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
         for (std::size_t s = lo; s < hi; ++s) {
           const std::int64_t i = static_cast<std::int64_t>(s);
           const float* gy = gyd + i * out_c_ * col_cols;
-          im2col(xd + i * in_vol, in_c_, h, w, k_, k_, stride_, pad_, col);
           // dW(out_c, rows) += gy(out_c, P) * col(rows, P)^T
-          gemm(Trans::N, Trans::T, out_c_, col_rows, col_cols, gy, col_cols,
-               col, col_cols, dw_part, col_rows, /*accumulate=*/true);
+          gemm_im2col(Trans::T, out_c_, gy, col_cols, xd + i * in_vol, map,
+                      dw_part, col_rows, /*accumulate=*/true);
           if (has_bias_) {
             for (std::int64_t c = 0; c < out_c_; ++c) {
               const float* gyc = gy + c * col_cols;
@@ -186,36 +184,39 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   Tensor y({n, c, oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
-  std::int64_t oi = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = xd + (i * c + ch) * h * w;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
-          for (std::int64_t ky = 0; ky < k_; ++ky) {
-            const std::int64_t iy = oy * stride_ + ky;
-            if (iy >= h) break;
-            for (std::int64_t kx = 0; kx < k_; ++kx) {
-              const std::int64_t ix = ox * stride_ + kx;
-              if (ix >= w) break;
-              const float v = plane[iy * w + ix];
-              if (v > best) {
-                best = v;
-                best_idx = iy * w + ix;
+  // Parallel over (sample, channel) planes — output slices are disjoint and
+  // each plane is pure max-scanning, so any partition is bit-identical.
+  ThreadPool::global().parallel_for_chunked(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pl = lo; pl < hi; ++pl) {
+          const float* plane = xd + static_cast<std::int64_t>(pl) * h * w;
+          std::int64_t oi = static_cast<std::int64_t>(pl) * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::int64_t best_idx = 0;
+              for (std::int64_t ky = 0; ky < k_; ++ky) {
+                const std::int64_t iy = oy * stride_ + ky;
+                if (iy >= h) break;
+                for (std::int64_t kx = 0; kx < k_; ++kx) {
+                  const std::int64_t ix = ox * stride_ + kx;
+                  if (ix >= w) break;
+                  const float v = plane[iy * w + ix];
+                  if (v > best) {
+                    best = v;
+                    best_idx = iy * w + ix;
+                  }
+                }
+              }
+              yd[oi] = best;
+              if (train) {
+                argmax_[static_cast<std::size_t>(oi)] =
+                    static_cast<std::int32_t>(best_idx);
               }
             }
           }
-          yd[oi] = best;
-          if (train) {
-            argmax_[static_cast<std::size_t>(oi)] =
-                static_cast<std::int32_t>(best_idx);
-          }
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
@@ -227,15 +228,18 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
   const std::int64_t out_hw = grad_out.dim(2) * grad_out.dim(3);
   const float* gy = grad_out.data();
   float* dxd = dx.data();
-  std::int64_t oi = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      float* plane = dxd + (i * c + ch) * h * w;
-      for (std::int64_t p = 0; p < out_hw; ++p, ++oi) {
-        plane[argmax_[static_cast<std::size_t>(oi)]] += gy[oi];
-      }
-    }
-  }
+  // Disjoint dx planes per (sample, channel): the scatter parallelises over
+  // planes without any cross-thread accumulation.
+  ThreadPool::global().parallel_for_chunked(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pl = lo; pl < hi; ++pl) {
+          float* plane = dxd + static_cast<std::int64_t>(pl) * h * w;
+          const std::int64_t oi0 = static_cast<std::int64_t>(pl) * out_hw;
+          for (std::int64_t p = 0; p < out_hw; ++p) {
+            plane[argmax_[static_cast<std::size_t>(oi0 + p)]] += gy[oi0 + p];
+          }
+        }
+      });
   return dx;
 }
 
@@ -254,12 +258,17 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
   const float* xd = x.data();
   float* yd = y.data();
   const float inv = 1.0f / static_cast<float>(hw);
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    const float* plane = xd + i * hw;
-    float acc = 0.0f;
-    for (std::int64_t p = 0; p < hw; ++p) acc += plane[p];
-    yd[i] = acc * inv;
-  }
+  // Per-plane serial reduction: the partition never splits a plane, so the
+  // float accumulation order (and hence the result) is partition-invariant.
+  ThreadPool::global().parallel_for_chunked(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* plane = xd + static_cast<std::int64_t>(i) * hw;
+          float acc = 0.0f;
+          for (std::int64_t p = 0; p < hw; ++p) acc += plane[p];
+          yd[i] = acc * inv;
+        }
+      });
   return y;
 }
 
@@ -271,11 +280,14 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   const float inv = 1.0f / static_cast<float>(hw);
   const float* gy = grad_out.data();
   float* dxd = dx.data();
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    const float g = gy[i] * inv;
-    float* plane = dxd + i * hw;
-    for (std::int64_t p = 0; p < hw; ++p) plane[p] = g;
-  }
+  ThreadPool::global().parallel_for_chunked(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float g = gy[i] * inv;
+          float* plane = dxd + static_cast<std::int64_t>(i) * hw;
+          for (std::int64_t p = 0; p < hw; ++p) plane[p] = g;
+        }
+      });
   return dx;
 }
 

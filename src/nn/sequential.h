@@ -127,6 +127,9 @@ class Residual : public Layer {
     return std::make_unique<Residual>(inner_->clone());
   }
 
+  Layer& inner() { return *inner_; }
+  const Layer& inner() const { return *inner_; }
+
  private:
   LayerPtr inner_;
 };

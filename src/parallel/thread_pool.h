@@ -43,9 +43,8 @@ class ThreadPool {
   enum ScratchSlot : std::size_t {
     kScratchGemmA = 0,
     kScratchGemmB = 1,
-    kScratchConvCol = 2,
-    kScratchConvMat = 3,
-    kScratchConvGrad = 4,
+    kScratchConvMat = 2,
+    kScratchConvGrad = 3,
     kScratchSlots = 6,
   };
 

@@ -1,0 +1,42 @@
+#include "tensor/cpu_features.h"
+
+namespace nebula {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults CPUID once at init; available on both
+  // GCC and Clang for x86 targets.
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+#elif defined(__aarch64__)
+  // Advanced SIMD is architecturally mandatory on AArch64.
+  f.neon = true;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  auto append = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (f.avx2) append("avx2");
+  if (f.fma) append("fma");
+  if (f.neon) append("neon");
+  if (s.empty()) s = "baseline";
+  return s;
+}
+
+}  // namespace nebula

@@ -1,0 +1,28 @@
+// Runtime CPU feature detection for the kernel dispatcher.
+//
+// The library is compiled for the baseline ISA of the target (plain x86-64 or
+// aarch64) so release binaries stay portable; SIMD micro-kernels are compiled
+// per-function with target attributes and selected at runtime from the
+// features reported here. Detection runs once, on first use.
+#pragma once
+
+#include <string>
+
+namespace nebula {
+
+struct CpuFeatures {
+  bool avx2 = false;  // x86: 8-wide float vectors
+  bool fma = false;   // x86: fused multiply-add
+  bool neon = false;  // aarch64: baseline 4-wide vectors
+};
+
+/// Detected features of the executing CPU (cached after the first call).
+const CpuFeatures& cpu_features();
+
+/// Comma-separated list of detected features ("avx2,fma", "neon", or
+/// "baseline" when nothing beyond the compile-time ISA is available). Stable
+/// format — recorded in benchmark context and perf trajectories so entries
+/// from different machines are comparable.
+std::string cpu_feature_string();
+
+}  // namespace nebula

@@ -1,11 +1,17 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "tensor/cpu_features.h"
+#include "tensor/gemm_kernels.h"
 
 #define NEBULA_RESTRICT __restrict__
 
@@ -13,85 +19,27 @@ namespace nebula {
 
 namespace {
 
-// Register micro-tile. MR*NR accumulators must fit the baseline x86-64
-// register file (16 xmm): 6 rows * 8 cols = 12 vector accumulators of width
-// 4, leaving room for the A broadcast and the two B loads.
-constexpr std::int64_t kMR = 6;
-constexpr std::int64_t kNR = 8;
-
-// Cache blocking. KC*NR B sub-panel (~8 KB) lives in L1 across the ip sweep,
-// the MC*KC A block (~96 KB) in L2, the KC*NC packed B panel (~512 KB) in
-// L2/L3. All multiples chosen so edge handling happens only in packing/store.
+// Cache blocking, shared by every micro-kernel. KC*NR B sub-panel (8-16 KB)
+// lives in L1 across the ip sweep, the MC*KC A block (~96 KB) in L2, the
+// KC*NC packed B panel (~512 KB) in L2/L3. MC is a multiple of every
+// registered MR (6, 8) and NC of every NR (8, 16), so edge handling happens
+// only in packing and the C store.
 constexpr std::int64_t kKC = 256;
-constexpr std::int64_t kMC = 96;   // multiple of kMR
-constexpr std::int64_t kNC = 512;  // multiple of kNR
+constexpr std::int64_t kMC = 96;
+constexpr std::int64_t kNC = 512;
 
 // Problems below this many multiply-adds skip packing entirely: for tiny
-// per-sample GEMMs (selector gates, small heads) the O(mk + kn) pack traffic
-// is a measurable fraction of the O(mnk) compute.
+// per-sample GEMMs (selector gates, small heads, module dispatch) the
+// O(mk + kn) pack traffic is a measurable fraction of the O(mnk) compute.
 constexpr std::int64_t kNaiveFlopThreshold = 8192;
 
 inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
 }
 
-// ---- Packing ---------------------------------------------------------------
-//
-// A block rows [i0, i0+mc) x cols [p0, p0+kc) of op(A) is laid out as
-// ceil(mc/MR) panels; panel q holds rows [q*MR, q*MR+MR) column-major within
-// the panel: dst[q*kc*MR + p*MR + r]. Rows past mc are zero-padded so the
-// micro-kernel always computes a full MR x NR tile and only the C store needs
-// edge masking. B is packed symmetrically into NR-column panels.
+}  // namespace
 
-void pack_a(Trans ta, const float* a, std::int64_t lda, std::int64_t i0,
-            std::int64_t p0, std::int64_t mc, std::int64_t kc, float* dst) {
-  for (std::int64_t ip = 0; ip < mc; ip += kMR) {
-    const std::int64_t rows = std::min(kMR, mc - ip);
-    if (ta == Trans::N) {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const float* src = a + (i0 + ip + r) * lda + p0;
-        for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = src[p];
-      }
-    } else {
-      for (std::int64_t p = 0; p < kc; ++p) {
-        const float* src = a + (p0 + p) * lda + i0 + ip;
-        for (std::int64_t r = 0; r < rows; ++r) dst[p * kMR + r] = src[r];
-      }
-    }
-    if (rows < kMR) {
-      for (std::int64_t p = 0; p < kc; ++p) {
-        for (std::int64_t r = rows; r < kMR; ++r) dst[p * kMR + r] = 0.0f;
-      }
-    }
-    dst += kc * kMR;
-  }
-}
-
-void pack_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t p0,
-            std::int64_t j0, std::int64_t kc, std::int64_t nc, float* dst) {
-  for (std::int64_t jp = 0; jp < nc; jp += kNR) {
-    const std::int64_t cols = std::min(kNR, nc - jp);
-    if (tb == Trans::N) {
-      for (std::int64_t p = 0; p < kc; ++p) {
-        const float* src = b + (p0 + p) * ldb + j0 + jp;
-        float* d = dst + p * kNR;
-        for (std::int64_t j = 0; j < cols; ++j) d[j] = src[j];
-        for (std::int64_t j = cols; j < kNR; ++j) d[j] = 0.0f;
-      }
-    } else {
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const float* src = b + (j0 + jp + j) * ldb + p0;
-        for (std::int64_t p = 0; p < kc; ++p) dst[p * kNR + j] = src[p];
-      }
-      for (std::int64_t p = 0; p < kc && cols < kNR; ++p) {
-        for (std::int64_t j = cols; j < kNR; ++j) dst[p * kNR + j] = 0.0f;
-      }
-    }
-    dst += kc * kNR;
-  }
-}
-
-// ---- Micro-kernel ----------------------------------------------------------
+// ---- Portable micro-kernel --------------------------------------------------
 //
 // C[0:mr, 0:nr] (+)= Ap(kc x MR panel) * Bp(kc x NR panel). The 6x8 tile is
 // held in twelve explicit 4-wide vector accumulators for the entire K loop —
@@ -99,6 +47,13 @@ void pack_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t p0,
 // lower to SSE2 on baseline x86-64, NEON on aarch64, and pick up FMA/AVX
 // under NEBULA_NATIVE. A plain float array here spills to the stack and runs
 // ~1.5x *slower* than the naive kernel; the explicit registers are the point.
+
+namespace detail {
+
+namespace {
+
+constexpr std::int64_t kPortableMR = 6;
+constexpr std::int64_t kPortableNR = 8;
 
 typedef float v4f __attribute__((vector_size(16)));
 // Same lanes, alignment 4: loads/stores through this type emit unaligned ops.
@@ -110,10 +65,10 @@ inline v4f load4(const float* p) {
 inline void store4(float* p, v4f v) { *reinterpret_cast<v4f_u*>(p) = v; }
 inline v4f splat4(float x) { return v4f{x, x, x, x}; }
 
-void micro_kernel(std::int64_t kc, const float* NEBULA_RESTRICT ap,
-                  const float* NEBULA_RESTRICT bp, float* NEBULA_RESTRICT c,
-                  std::int64_t ldc, bool accumulate, std::int64_t mr,
-                  std::int64_t nr) {
+void micro_kernel_portable(std::int64_t kc, const float* NEBULA_RESTRICT ap,
+                           const float* NEBULA_RESTRICT bp,
+                           float* NEBULA_RESTRICT c, std::int64_t ldc,
+                           bool accumulate, std::int64_t mr, std::int64_t nr) {
   v4f c00 = {}, c01 = {}, c10 = {}, c11 = {}, c20 = {}, c21 = {};
   v4f c30 = {}, c31 = {}, c40 = {}, c41 = {}, c50 = {}, c51 = {};
   for (std::int64_t p = 0; p < kc; ++p) {
@@ -126,10 +81,10 @@ void micro_kernel(std::int64_t kc, const float* NEBULA_RESTRICT ap,
     a = splat4(ap[3]); c30 += a * b0; c31 += a * b1;
     a = splat4(ap[4]); c40 += a * b0; c41 += a * b1;
     a = splat4(ap[5]); c50 += a * b0; c51 += a * b1;
-    ap += kMR;
-    bp += kNR;
+    ap += kPortableMR;
+    bp += kPortableNR;
   }
-  if (mr == kMR && nr == kNR) {
+  if (mr == kPortableMR && nr == kPortableNR) {
     float* c0 = c;
     float* c1 = c + ldc;
     float* c2 = c + 2 * ldc;
@@ -153,7 +108,7 @@ void micro_kernel(std::int64_t kc, const float* NEBULA_RESTRICT ap,
     }
   } else {
     // Edge tile: spill the full tile once, then mask the store.
-    float tile[kMR * kNR];
+    float tile[kPortableMR * kPortableNR];
     store4(tile + 0, c00);  store4(tile + 4, c01);
     store4(tile + 8, c10);  store4(tile + 12, c11);
     store4(tile + 16, c20); store4(tile + 20, c21);
@@ -162,7 +117,7 @@ void micro_kernel(std::int64_t kc, const float* NEBULA_RESTRICT ap,
     store4(tile + 40, c50); store4(tile + 44, c51);
     for (std::int64_t i = 0; i < mr; ++i) {
       float* ci = c + i * ldc;
-      const float* ti = tile + i * kNR;
+      const float* ti = tile + i * kPortableNR;
       if (accumulate) {
         for (std::int64_t j = 0; j < nr; ++j) ci[j] += ti[j];
       } else {
@@ -172,7 +127,242 @@ void micro_kernel(std::int64_t kc, const float* NEBULA_RESTRICT ap,
   }
 }
 
-// ---- Naive small-problem path ----------------------------------------------
+}  // namespace
+
+const GemmKernel& portable_kernel() {
+  static const GemmKernel kernel = {"portable-6x8", kPortableMR, kPortableNR,
+                                    &micro_kernel_portable};
+  return kernel;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::GemmKernel;
+
+// ---- Kernel dispatch --------------------------------------------------------
+
+bool env_force_portable() {
+  static const bool forced = [] {
+    const char* e = std::getenv("NEBULA_FORCE_PORTABLE_KERNEL");
+    return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+  }();
+  return forced;
+}
+
+const GemmKernel& auto_kernel() {
+  if (env_force_portable()) return detail::portable_kernel();
+#if defined(__x86_64__) || defined(__i386__)
+  if (const GemmKernel* k = detail::avx2_kernel()) return *k;
+#elif defined(__aarch64__)
+  if (const GemmKernel* k = detail::neon_kernel()) return *k;
+#endif
+  return detail::portable_kernel();
+}
+
+std::atomic<const GemmKernel*> g_forced_kernel{nullptr};
+
+inline const GemmKernel& active_kernel() {
+  const GemmKernel* k = g_forced_kernel.load(std::memory_order_acquire);
+  return k ? *k : auto_kernel();
+}
+
+// ---- Packing ---------------------------------------------------------------
+//
+// A block rows [i0, i0+mc) x cols [p0, p0+kc) of op(A) is laid out as
+// ceil(mc/MR) panels; panel q holds rows [q*MR, q*MR+MR) column-major within
+// the panel: dst[q*kc*MR + p*MR + r]. Rows past mc are zero-padded so the
+// micro-kernel always computes a full MR x NR tile and only the C store needs
+// edge masking. B is packed symmetrically into NR-column panels. MR/NR are
+// runtime parameters of the active micro-kernel; the layout is otherwise
+// kernel-independent.
+
+void pack_a(Trans ta, const float* a, std::int64_t lda, std::int64_t i0,
+            std::int64_t p0, std::int64_t mc, std::int64_t kc, std::int64_t mr,
+            float* dst) {
+  for (std::int64_t ip = 0; ip < mc; ip += mr) {
+    const std::int64_t rows = std::min(mr, mc - ip);
+    if (ta == Trans::N) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* src = a + (i0 + ip + r) * lda + p0;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * mr + r] = src[p];
+      }
+    } else {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + i0 + ip;
+        for (std::int64_t r = 0; r < rows; ++r) dst[p * mr + r] = src[r];
+      }
+    }
+    if (rows < mr) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        for (std::int64_t r = rows; r < mr; ++r) dst[p * mr + r] = 0.0f;
+      }
+    }
+    dst += kc * mr;
+  }
+}
+
+// B-panel sources. The blocked driver is agnostic to where B elements come
+// from: a plain matrix (gemm) or the virtual im2col matrix of an image
+// (gemm_im2col — the fusion that deletes the materialised col intermediate).
+// Each source packs the (kc x nc) block at (p0, j0) of op(B) into
+// NR-column zero-padded panels.
+struct BSource {
+  using PackFn = void (*)(const BSource& src, std::int64_t p0, std::int64_t j0,
+                          std::int64_t kc, std::int64_t nc, std::int64_t nr,
+                          float* dst);
+  PackFn pack;
+  // Matrix source.
+  const float* b = nullptr;
+  std::int64_t ldb = 0;
+  Trans tb = Trans::N;
+  // Im2col source.
+  const float* img = nullptr;
+  const Im2colMap* map = nullptr;
+};
+
+void pack_b_matrix(const BSource& src, std::int64_t p0, std::int64_t j0,
+                   std::int64_t kc, std::int64_t nc, std::int64_t nr,
+                   float* dst) {
+  const float* b = src.b;
+  const std::int64_t ldb = src.ldb;
+  for (std::int64_t jp = 0; jp < nc; jp += nr) {
+    const std::int64_t cols = std::min(nr, nc - jp);
+    if (src.tb == Trans::N) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* s = b + (p0 + p) * ldb + j0 + jp;
+        float* d = dst + p * nr;
+        for (std::int64_t j = 0; j < cols; ++j) d[j] = s[j];
+        for (std::int64_t j = cols; j < nr; ++j) d[j] = 0.0f;
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float* s = b + (j0 + jp + j) * ldb + p0;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * nr + j] = s[p];
+      }
+      for (std::int64_t p = 0; p < kc && cols < nr; ++p) {
+        for (std::int64_t j = cols; j < nr; ++j) dst[p * nr + j] = 0.0f;
+      }
+    }
+    dst += kc * nr;
+  }
+}
+
+// Decomposes im2col row index `row` into (channel plane, kernel tap offsets).
+struct KTap {
+  const float* plane;
+  std::int64_t ky, kx;
+};
+
+inline KTap ktap(const float* img, const Im2colMap& m, std::int64_t row) {
+  const std::int64_t khw = m.kh * m.kw;
+  const std::int64_t c = row / khw;
+  const std::int64_t rem = row % khw;
+  return {img + c * m.height * m.width, rem / m.kw, rem % m.kw};
+}
+
+// The ox range whose ix = ox*stride - pad + kx lands inside [0, width), so the
+// per-pixel bounds checks can be hoisted out of the packing inner loops.
+struct OxRange {
+  std::int64_t lo, hi;  // half-open [lo, hi); empty when lo >= hi
+};
+
+inline OxRange valid_ox(const Im2colMap& m, std::int64_t kx) {
+  const std::int64_t shift = m.pad - kx;  // ix = ox*stride - shift
+  const std::int64_t lo = shift <= 0 ? 0 : (shift + m.stride - 1) / m.stride;
+  const std::int64_t top = m.width - 1 + shift;
+  const std::int64_t hi = top < 0 ? 0 : top / m.stride + 1;
+  return {lo, std::min(hi, m.out_w())};
+}
+
+// Packs one (tap row, pixel segment) pair: `count` consecutive pixels starting
+// at (oy, ox), all on output row oy, written to d[0..count) with dst stride
+// `step`. Splits the segment into zero / in-bounds / zero runs so the inner
+// loops carry no branches; in-bounds loads are contiguous when stride == 1.
+inline void pack_tap_segment(const KTap& t, const Im2colMap& m, std::int64_t oy,
+                             std::int64_t ox, std::int64_t count, float* d,
+                             std::int64_t step) {
+  const std::int64_t iy = oy * m.stride - m.pad + t.ky;
+  if (iy < 0 || iy >= m.height) {
+    for (std::int64_t j = 0; j < count; ++j) d[j * step] = 0.0f;
+    return;
+  }
+  const OxRange r = valid_ox(m, t.kx);
+  const std::int64_t lo = std::max(ox, r.lo);
+  const std::int64_t hi = std::min(ox + count, r.hi);
+  std::int64_t j = 0;
+  for (; j < std::min(lo - ox, count); ++j) d[j * step] = 0.0f;
+  if (lo < hi) {
+    const float* s = t.plane + iy * m.width + (lo * m.stride - m.pad + t.kx);
+    if (m.stride == 1) {
+      for (std::int64_t i = 0; i < hi - lo; ++i, ++j) d[j * step] = s[i];
+    } else {
+      for (std::int64_t i = 0; i < hi - lo; ++i, ++j) {
+        d[j * step] = s[i * m.stride];
+      }
+    }
+  }
+  for (; j < count; ++j) d[j * step] = 0.0f;
+}
+
+// op(B) = col: panel rows are im2col rows (kernel taps), panel columns are
+// output pixels. Reads the image directly — exactly the elements im2col
+// would have written, in the same pack layout as pack_b_matrix(Trans::N).
+void pack_b_im2col_n(const BSource& src, std::int64_t p0, std::int64_t j0,
+                     std::int64_t kc, std::int64_t nc, std::int64_t nr,
+                     float* dst) {
+  const Im2colMap& m = *src.map;
+  const std::int64_t out_w = m.out_w();
+  for (std::int64_t jp = 0; jp < nc; jp += nr) {
+    const std::int64_t cols = std::min(nr, nc - jp);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const KTap t = ktap(src.img, m, p0 + p);
+      float* d = dst + p * nr;
+      std::int64_t oy = (j0 + jp) / out_w;
+      std::int64_t ox = (j0 + jp) % out_w;
+      for (std::int64_t j = 0; j < cols;) {
+        const std::int64_t seg = std::min(cols - j, out_w - ox);
+        pack_tap_segment(t, m, oy, ox, seg, d + j, 1);
+        j += seg;
+        ox = 0;
+        ++oy;
+      }
+      for (std::int64_t j = cols; j < nr; ++j) d[j] = 0.0f;
+    }
+    dst += kc * nr;
+  }
+}
+
+// op(B) = col^T: panel rows are output pixels, panel columns are im2col rows.
+// Mirrors pack_b_matrix(Trans::T) element-for-element.
+void pack_b_im2col_t(const BSource& src, std::int64_t p0, std::int64_t j0,
+                     std::int64_t kc, std::int64_t nc, std::int64_t nr,
+                     float* dst) {
+  const Im2colMap& m = *src.map;
+  const std::int64_t out_w = m.out_w();
+  for (std::int64_t jp = 0; jp < nc; jp += nr) {
+    const std::int64_t cols = std::min(nr, nc - jp);
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const KTap t = ktap(src.img, m, j0 + jp + j);
+      std::int64_t oy = p0 / out_w;
+      std::int64_t ox = p0 % out_w;
+      for (std::int64_t p = 0; p < kc;) {
+        const std::int64_t seg = std::min(kc - p, out_w - ox);
+        pack_tap_segment(t, m, oy, ox, seg, dst + p * nr + j, nr);
+        p += seg;
+        ox = 0;
+        ++oy;
+      }
+    }
+    for (std::int64_t p = 0; p < kc && cols < nr; ++p) {
+      for (std::int64_t j = cols; j < nr; ++j) dst[p * nr + j] = 0.0f;
+    }
+    dst += kc * nr;
+  }
+}
+
+// ---- Naive small-problem paths ----------------------------------------------
 
 void gemm_naive(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                 std::int64_t k, const float* a, std::int64_t lda,
@@ -229,18 +419,188 @@ void gemm_naive(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
   }
 }
 
+// Naive paths reading B through the im2col map. Loop structure and float
+// operation order match gemm_naive (N,N) / (N,T) exactly — including the
+// zero-skip on A and the += of out-of-image zeros — so the fused path is
+// bit-identical to materialising col first.
+
+void gemm_naive_im2col_n(std::int64_t m, std::int64_t n, std::int64_t k,
+                         const float* a, std::int64_t lda, const float* img,
+                         const Im2colMap& map, float* c, std::int64_t ldc,
+                         bool accumulate) {
+  const std::int64_t out_w = map.out_w();
+  if (!accumulate) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const KTap t = ktap(img, map, p);
+      std::int64_t oy = 0, ox = 0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const std::int64_t iy = oy * map.stride - map.pad + t.ky;
+        const std::int64_t ix = ox * map.stride - map.pad + t.kx;
+        const float v =
+            (iy >= 0 && iy < map.height && ix >= 0 && ix < map.width)
+                ? t.plane[iy * map.width + ix]
+                : 0.0f;
+        ci[j] += av * v;
+        if (++ox == out_w) {
+          ox = 0;
+          ++oy;
+        }
+      }
+    }
+  }
+}
+
+void gemm_naive_im2col_t(std::int64_t m, std::int64_t n, std::int64_t k,
+                         const float* a, std::int64_t lda, const float* img,
+                         const Im2colMap& map, float* c, std::int64_t ldc,
+                         bool accumulate) {
+  const std::int64_t out_w = map.out_w();
+  if (!accumulate) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const KTap t = ktap(img, map, j);
+      float s = 0.0f;
+      std::int64_t oy = 0, ox = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const std::int64_t iy = oy * map.stride - map.pad + t.ky;
+        const std::int64_t ix = ox * map.stride - map.pad + t.kx;
+        const float v =
+            (iy >= 0 && iy < map.height && ix >= 0 && ix < map.width)
+                ? t.plane[iy * map.width + ix]
+                : 0.0f;
+        s += ai[p] * v;
+        if (++ox == out_w) {
+          ox = 0;
+          ++oy;
+        }
+      }
+      ci[j] += s;
+    }
+  }
+}
+
+// ---- Blocked driver ---------------------------------------------------------
+
+// Parallel row-block sweep over one packed B panel: packs A blocks into
+// per-worker scratch and runs the micro-kernel grid. `bpack` is read (never
+// written) by every participant.
+void row_sweep(const GemmKernel& ker, Trans ta, std::int64_t m, std::int64_t kc,
+               std::int64_t nc, const float* a, std::int64_t lda,
+               std::int64_t p0, std::int64_t j0, const float* bpack, float* c,
+               std::int64_t ldc, bool acc_pass) {
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t mr = ker.mr, nr = ker.nr;
+  const std::size_t nblocks = static_cast<std::size_t>(ceil_div(m, kMC));
+  pool.parallel_for_chunked(
+      0, nblocks,
+      [&](std::size_t blo, std::size_t bhi) {
+        float* apack = pool.scratch_floats(ThreadPool::kScratchGemmA,
+                                           static_cast<std::size_t>(kMC * kc));
+        for (std::size_t blk = blo; blk < bhi; ++blk) {
+          const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMC;
+          const std::int64_t mc = std::min(kMC, m - i0);
+          pack_a(ta, a, lda, i0, p0, mc, kc, mr, apack);
+          for (std::int64_t jp = 0; jp < nc; jp += nr) {
+            const std::int64_t nrr = std::min(nr, nc - jp);
+            const float* bp = bpack + (jp / nr) * kc * nr;
+            for (std::int64_t ip = 0; ip < mc; ip += mr) {
+              const std::int64_t mrr = std::min(mr, mc - ip);
+              const float* ap = apack + (ip / mr) * kc * mr;
+              ker.fn(kc, ap, bp, c + (i0 + ip) * ldc + j0 + jp, ldc, acc_pass,
+                     mrr, nrr);
+            }
+          }
+        }
+      },
+      1);
+}
+
+void gemm_blocked(const GemmKernel& ker, Trans ta, std::int64_t m,
+                  std::int64_t n, std::int64_t k, const float* a,
+                  std::int64_t lda, const BSource& bsrc, float* c,
+                  std::int64_t ldc, bool accumulate) {
+  NEBULA_SPAN("gemm.blocked");
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t nr = ker.nr;
+  for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::int64_t nc = std::min(kNC, n - j0);
+    const std::int64_t nc_pad = ceil_div(nc, nr) * nr;
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+      const std::int64_t kc = std::min(kKC, k - p0);
+      const bool acc_pass = accumulate || p0 > 0;
+      // The B panel is packed once by the calling thread and read (not
+      // written) by every participant of the row-block sweep below.
+      float* bpack = pool.scratch_floats(
+          ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
+      {
+        NEBULA_SPAN("gemm.pack_b");
+        bsrc.pack(bsrc, p0, j0, kc, nc, nr, bpack);
+      }
+      row_sweep(ker, ta, m, kc, nc, a, lda, p0, j0, bpack, c, ldc, acc_pass);
+    }
+  }
+}
+
+inline void zero_c_rows(std::int64_t m, std::int64_t n, float* c,
+                        std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+  }
+}
+
 }  // namespace
+
+// ---- Public entry points ----------------------------------------------------
+
+const char* gemm_kernel_name() { return active_kernel().name; }
+
+bool gemm_force_kernel(const char* name) {
+  if (name == nullptr || name[0] == '\0' ||
+      std::strcmp(name, "auto") == 0) {
+    g_forced_kernel.store(nullptr, std::memory_order_release);
+    return true;
+  }
+  const GemmKernel* candidates[] = {
+    &detail::portable_kernel(),
+#if defined(__x86_64__) || defined(__i386__)
+    detail::avx2_kernel(),
+#elif defined(__aarch64__)
+    detail::neon_kernel(),
+#endif
+  };
+  for (const GemmKernel* k : candidates) {
+    if (k == nullptr || std::strcmp(k->name, name) != 0) continue;
+    // Under NEBULA_FORCE_PORTABLE_KERNEL the whole process is pinned
+    // portable; refuse to hand out SIMD kernels so a forced-portable test
+    // run stays pure.
+    if (env_force_portable() && k != &detail::portable_kernel()) return false;
+    g_forced_kernel.store(k, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
 
 void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
           float* c, std::int64_t ldc, bool accumulate) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
-    if (!accumulate) {
-      for (std::int64_t i = 0; i < m; ++i) {
-        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
-      }
-    }
+    if (!accumulate) zero_c_rows(m, n, c, ldc);
     return;
   }
   // Sharded relaxed adds: a handful of ns even for the tiny per-sample
@@ -255,51 +615,154 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
     gemm_naive(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
     return;
   }
-  NEBULA_SPAN("gemm.blocked");
+  BSource src;
+  src.pack = &pack_b_matrix;
+  src.b = b;
+  src.ldb = ldb;
+  src.tb = tb;
+  gemm_blocked(active_kernel(), ta, m, n, k, a, lda, src, c, ldc, accumulate);
+}
 
-  ThreadPool& pool = ThreadPool::global();
-  for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
-    const std::int64_t nc = std::min(kNC, n - j0);
-    const std::int64_t nc_pad = ceil_div(nc, kNR) * kNR;
-    for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
-      const std::int64_t kc = std::min(kKC, k - p0);
-      const bool acc_pass = accumulate || p0 > 0;
-      // The B panel is packed once by the calling thread and read (not
-      // written) by every participant of the row-block sweep below.
-      float* bpack = pool.scratch_floats(
-          ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
-      {
-        NEBULA_SPAN("gemm.pack_b");
-        pack_b(tb, b, ldb, p0, j0, kc, nc, bpack);
-      }
-
-      const std::size_t nblocks =
-          static_cast<std::size_t>(ceil_div(m, kMC));
-      pool.parallel_for_chunked(
-          0, nblocks,
-          [&](std::size_t blo, std::size_t bhi) {
-            float* apack = pool.scratch_floats(
-                ThreadPool::kScratchGemmA,
-                static_cast<std::size_t>(kMC * kc));
-            for (std::size_t blk = blo; blk < bhi; ++blk) {
-              const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMC;
-              const std::int64_t mc = std::min(kMC, m - i0);
-              pack_a(ta, a, lda, i0, p0, mc, kc, apack);
-              for (std::int64_t jp = 0; jp < nc; jp += kNR) {
-                const std::int64_t nr = std::min(kNR, nc - jp);
-                const float* bp = bpack + (jp / kNR) * kc * kNR;
-                for (std::int64_t ip = 0; ip < mc; ip += kMR) {
-                  const std::int64_t mr = std::min(kMR, mc - ip);
-                  const float* ap = apack + (ip / kMR) * kc * kMR;
-                  micro_kernel(kc, ap, bp,
-                               c + (i0 + ip) * ldc + j0 + jp, ldc, acc_pass,
-                               mr, nr);
-                }
-              }
-            }
-          },
-          1);
+void gemm_im2col(Trans trans_col, std::int64_t m, const float* a,
+                 std::int64_t lda, const float* img, const Im2colMap& map,
+                 float* c, std::int64_t ldc, bool accumulate) {
+  NEBULA_CHECK(map.channels > 0 && map.kh > 0 && map.kw > 0 && map.stride > 0);
+  NEBULA_CHECK_MSG(map.out_h() > 0 && map.out_w() > 0,
+                   "gemm_im2col: output collapsed to zero");
+  const std::int64_t n = (trans_col == Trans::N) ? map.cols() : map.rows();
+  const std::int64_t k = (trans_col == Trans::N) ? map.rows() : map.cols();
+  if (m <= 0) return;
+  static obs::Counter& m_calls = obs::counter("gemm.calls");
+  static obs::Counter& m_flops = obs::counter("gemm.flops");
+  static obs::Counter& m_fused = obs::counter("gemm.im2col_fused_calls");
+  m_calls.add(1);
+  m_flops.add(2 * m * n * k);
+  m_fused.add(1);
+  if (m * n * k <= kNaiveFlopThreshold) {
+    static obs::Counter& m_naive = obs::counter("gemm.naive_calls");
+    m_naive.add(1);
+    if (trans_col == Trans::N) {
+      gemm_naive_im2col_n(m, n, k, a, lda, img, map, c, ldc, accumulate);
+    } else {
+      gemm_naive_im2col_t(m, n, k, a, lda, img, map, c, ldc, accumulate);
     }
+    return;
+  }
+  BSource src;
+  src.pack = (trans_col == Trans::N) ? &pack_b_im2col_n : &pack_b_im2col_t;
+  src.img = img;
+  src.map = &map;
+  gemm_blocked(active_kernel(), Trans::N, m, n, k, a, lda, src, c, ldc,
+               accumulate);
+}
+
+void gemm_batched(Trans ta, Trans tb, const GemmBatchItem* items,
+                  std::size_t count, bool accumulate) {
+  if (count == 0) return;
+  static obs::Counter& m_calls = obs::counter("gemm.calls");
+  static obs::Counter& m_flops = obs::counter("gemm.flops");
+  static obs::Counter& m_naive = obs::counter("gemm.naive_calls");
+  static obs::Counter& m_batched = obs::counter("gemm.batched_calls");
+  static obs::Counter& m_items = obs::counter("gemm.batched_items");
+  m_batched.add(1);
+  m_items.add(static_cast<std::int64_t>(count));
+
+  // Classify items exactly as standalone gemm calls would, so every item's
+  // result is bit-identical to a loop of gemm() over the batch.
+  std::int64_t flops = 0;
+  std::size_t n_live = 0;
+  std::vector<std::size_t> naive_items, blocked_items;
+  naive_items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GemmBatchItem& it = items[i];
+    if (it.m <= 0 || it.n <= 0) continue;
+    if (it.k <= 0) {
+      if (!accumulate) zero_c_rows(it.m, it.n, it.c, it.ldc);
+      continue;
+    }
+    ++n_live;
+    flops += 2 * it.m * it.n * it.k;
+    if (it.m * it.n * it.k <= kNaiveFlopThreshold) {
+      naive_items.push_back(i);
+    } else {
+      blocked_items.push_back(i);
+    }
+  }
+  m_calls.add(static_cast<std::int64_t>(n_live));
+  m_flops.add(flops);
+  m_naive.add(static_cast<std::int64_t>(naive_items.size()));
+  if (n_live == 0) return;
+  NEBULA_SPAN("gemm.batched");
+
+  // Sub-threshold items: one parallel region across the whole set instead of
+  // per-item dispatch. Outputs are disjoint by contract and each item runs
+  // the identical serial naive path, so the fan-out is bit-identical.
+  if (!naive_items.empty()) {
+    ThreadPool::global().parallel_for(
+        0, naive_items.size(), [&](std::size_t idx) {
+          const GemmBatchItem& it = items[naive_items[idx]];
+          gemm_naive(ta, tb, it.m, it.n, it.k, it.a, it.lda, it.b, it.ldb,
+                     it.c, it.ldc, accumulate);
+        });
+  }
+
+  // Blocked items: consecutive runs sharing the same B operand (and shape)
+  // pack each B panel once and sweep every member's row blocks over it in a
+  // single parallel region; singletons take the normal blocked driver.
+  const GemmKernel& ker = active_kernel();
+  ThreadPool& pool = ThreadPool::global();
+  for (std::size_t g = 0; g < blocked_items.size();) {
+    const GemmBatchItem& head = items[blocked_items[g]];
+    std::size_t g_end = g + 1;
+    while (g_end < blocked_items.size()) {
+      const GemmBatchItem& it = items[blocked_items[g_end]];
+      if (it.b != head.b || it.ldb != head.ldb || it.n != head.n ||
+          it.k != head.k) {
+        break;
+      }
+      ++g_end;
+    }
+    if (g_end - g == 1) {
+      BSource src;
+      src.pack = &pack_b_matrix;
+      src.b = head.b;
+      src.ldb = head.ldb;
+      src.tb = tb;
+      gemm_blocked(ker, ta, head.m, head.n, head.k, head.a, head.lda, src,
+                   head.c, head.ldc, accumulate);
+      g = g_end;
+      continue;
+    }
+    // Shared-B group: pack once per (j0, p0) block, then fan the member
+    // sweeps out together. Each member's tile grid and K-pass order are
+    // unchanged, so results match the per-item driver bit-for-bit.
+    NEBULA_SPAN("gemm.batched_shared_b");
+    BSource src;
+    src.pack = &pack_b_matrix;
+    src.b = head.b;
+    src.ldb = head.ldb;
+    src.tb = tb;
+    const std::int64_t nr = ker.nr;
+    for (std::int64_t j0 = 0; j0 < head.n; j0 += kNC) {
+      const std::int64_t nc = std::min(kNC, head.n - j0);
+      const std::int64_t nc_pad = ceil_div(nc, nr) * nr;
+      for (std::int64_t p0 = 0; p0 < head.k; p0 += kKC) {
+        const std::int64_t kc = std::min(kKC, head.k - p0);
+        const bool acc_pass = accumulate || p0 > 0;
+        float* bpack = pool.scratch_floats(
+            ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
+        {
+          NEBULA_SPAN("gemm.pack_b");
+          src.pack(src, p0, j0, kc, nc, nr, bpack);
+        }
+        pool.parallel_for(g, g_end, [&](std::size_t member) {
+          const GemmBatchItem& it = items[blocked_items[member]];
+          row_sweep(ker, ta, it.m, kc, nc, it.a, it.lda, p0, j0, bpack, it.c,
+                    it.ldc, acc_pass);
+        });
+      }
+    }
+    g = g_end;
   }
 }
 

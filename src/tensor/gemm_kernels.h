@@ -1,0 +1,57 @@
+// Micro-kernel registry for the blocked GEMM engine (internal header).
+//
+// A micro-kernel computes C[0:mr, 0:nr] (+)= Ap · Bp from packed panels:
+// Ap is a (kc x MR) column-major panel (stride MR), Bp a (kc x NR) row-major
+// panel (stride NR), both zero-padded to the full tile by the packer. The
+// accumulation order along K is identical across kernels — one rank-1 update
+// per K step — so kernels differ only in vector width and (on FMA hardware)
+// the fused rounding of multiply-add.
+//
+// Registering a new micro-kernel:
+//  1. implement a `MicroKernelFn` in its own TU, compiled for the target ISA
+//     with a per-function `__attribute__((target(...)))` (keeps the rest of
+//     the binary at the baseline ISA),
+//  2. expose a `const GemmKernel* <name>_kernel()` that returns nullptr when
+//     the executing CPU lacks the required features,
+//  3. add it to the selection chain in `gemm.cpp` (best kernel first).
+// MR must divide kMC (96) and NR must divide kNC (512); the shared packers
+// and the blocked driver handle any MR/NR via runtime parameters.
+#pragma once
+
+#include <cstdint>
+
+namespace nebula {
+namespace detail {
+
+/// Computes the (mr x nr) corner of a full (MR x NR) register tile. `mr`/`nr`
+/// are the valid extents (edge tiles); the packed panels are always full
+/// width. `accumulate` selects C += vs C =.
+using MicroKernelFn = void (*)(std::int64_t kc, const float* ap,
+                               const float* bp, float* c, std::int64_t ldc,
+                               bool accumulate, std::int64_t mr,
+                               std::int64_t nr);
+
+struct GemmKernel {
+  const char* name;  // stable id, recorded in bench context / trajectories
+  std::int64_t mr;
+  std::int64_t nr;
+  MicroKernelFn fn;
+};
+
+/// Baseline kernel: 6x8 tile of 4-wide GCC vector extensions. Compiles to
+/// SSE2 on x86-64 and NEON on aarch64; always available.
+const GemmKernel& portable_kernel();
+
+#if defined(__x86_64__) || defined(__i386__)
+/// AVX2/FMA 6x16 kernel (12 ymm accumulators). nullptr when the executing
+/// CPU lacks avx2 or fma.
+const GemmKernel* avx2_kernel();
+#endif
+
+#if defined(__aarch64__)
+/// NEON 8x8 kernel (16 4-wide accumulators). Always available on aarch64.
+const GemmKernel* neon_kernel();
+#endif
+
+}  // namespace detail
+}  // namespace nebula

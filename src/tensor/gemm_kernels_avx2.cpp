@@ -1,0 +1,135 @@
+// AVX2/FMA 6x16 GEMM micro-kernel.
+//
+// Compiled per-function for avx2+fma via target attributes so this TU can be
+// built with the baseline toolchain flags; the dispatcher in gemm.cpp only
+// hands out the kernel when cpu_features() reports both avx2 and fma.
+//
+// Tile: 6 rows x 16 columns = 12 ymm accumulators held in registers for the
+// whole K loop, plus one broadcast register and two B loads — 15 of the 16
+// ymm names, mirroring the classic BLIS haswell kernel shape. Each K step is
+// one rank-1 update (same accumulation order as the portable kernel; only the
+// fused multiply-add rounding differs).
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "tensor/cpu_features.h"
+#include "tensor/gemm_kernels.h"
+
+namespace nebula {
+namespace detail {
+
+namespace {
+
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 16;
+
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2_6x16(
+    std::int64_t kc, const float* __restrict__ ap, const float* __restrict__ bp,
+    float* __restrict__ c, std::int64_t ldc, bool accumulate, std::int64_t mr,
+    std::int64_t nr) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    __m256 a;
+    a = _mm256_broadcast_ss(ap + 0);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(ap + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(ap + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(ap + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(ap + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(ap + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+    ap += kMR;
+    bp += kNR;
+  }
+  if (mr == kMR && nr == kNR) {
+    float* c0 = c;
+    float* c1 = c + ldc;
+    float* c2 = c + 2 * ldc;
+    float* c3 = c + 3 * ldc;
+    float* c4 = c + 4 * ldc;
+    float* c5 = c + 5 * ldc;
+    if (accumulate) {
+      _mm256_storeu_ps(c0, _mm256_add_ps(_mm256_loadu_ps(c0), c00));
+      _mm256_storeu_ps(c0 + 8, _mm256_add_ps(_mm256_loadu_ps(c0 + 8), c01));
+      _mm256_storeu_ps(c1, _mm256_add_ps(_mm256_loadu_ps(c1), c10));
+      _mm256_storeu_ps(c1 + 8, _mm256_add_ps(_mm256_loadu_ps(c1 + 8), c11));
+      _mm256_storeu_ps(c2, _mm256_add_ps(_mm256_loadu_ps(c2), c20));
+      _mm256_storeu_ps(c2 + 8, _mm256_add_ps(_mm256_loadu_ps(c2 + 8), c21));
+      _mm256_storeu_ps(c3, _mm256_add_ps(_mm256_loadu_ps(c3), c30));
+      _mm256_storeu_ps(c3 + 8, _mm256_add_ps(_mm256_loadu_ps(c3 + 8), c31));
+      _mm256_storeu_ps(c4, _mm256_add_ps(_mm256_loadu_ps(c4), c40));
+      _mm256_storeu_ps(c4 + 8, _mm256_add_ps(_mm256_loadu_ps(c4 + 8), c41));
+      _mm256_storeu_ps(c5, _mm256_add_ps(_mm256_loadu_ps(c5), c50));
+      _mm256_storeu_ps(c5 + 8, _mm256_add_ps(_mm256_loadu_ps(c5 + 8), c51));
+    } else {
+      _mm256_storeu_ps(c0, c00);
+      _mm256_storeu_ps(c0 + 8, c01);
+      _mm256_storeu_ps(c1, c10);
+      _mm256_storeu_ps(c1 + 8, c11);
+      _mm256_storeu_ps(c2, c20);
+      _mm256_storeu_ps(c2 + 8, c21);
+      _mm256_storeu_ps(c3, c30);
+      _mm256_storeu_ps(c3 + 8, c31);
+      _mm256_storeu_ps(c4, c40);
+      _mm256_storeu_ps(c4 + 8, c41);
+      _mm256_storeu_ps(c5, c50);
+      _mm256_storeu_ps(c5 + 8, c51);
+    }
+  } else {
+    // Edge tile: spill the full tile once, then mask the store.
+    float tile[kMR * kNR];
+    _mm256_storeu_ps(tile + 0, c00);
+    _mm256_storeu_ps(tile + 8, c01);
+    _mm256_storeu_ps(tile + 16, c10);
+    _mm256_storeu_ps(tile + 24, c11);
+    _mm256_storeu_ps(tile + 32, c20);
+    _mm256_storeu_ps(tile + 40, c21);
+    _mm256_storeu_ps(tile + 48, c30);
+    _mm256_storeu_ps(tile + 56, c31);
+    _mm256_storeu_ps(tile + 64, c40);
+    _mm256_storeu_ps(tile + 72, c41);
+    _mm256_storeu_ps(tile + 80, c50);
+    _mm256_storeu_ps(tile + 88, c51);
+    for (std::int64_t i = 0; i < mr; ++i) {
+      float* ci = c + i * ldc;
+      const float* ti = tile + i * kNR;
+      if (accumulate) {
+        for (std::int64_t j = 0; j < nr; ++j) ci[j] += ti[j];
+      } else {
+        for (std::int64_t j = 0; j < nr; ++j) ci[j] = ti[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const GemmKernel* avx2_kernel() {
+  static const GemmKernel kernel = {"avx2-6x16", kMR, kNR,
+                                    &micro_kernel_avx2_6x16};
+  const CpuFeatures& f = cpu_features();
+  return (f.avx2 && f.fma) ? &kernel : nullptr;
+}
+
+}  // namespace detail
+}  // namespace nebula
+
+#endif  // x86

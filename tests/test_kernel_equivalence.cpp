@@ -1,19 +1,30 @@
-// Serial-vs-parallel equivalence properties for the blocked GEMM engine and
-// Conv2d, plus shape-check regressions.
+// Equivalence properties for the blocked GEMM engine and Conv2d.
 //
-// Every GEMM variant and the conv forward/backward path are run under a
-// 1-thread pool and an N-thread pool (swapped in via ThreadPool::set_global)
-// over randomized odd shapes / strides / pads, and compared against a plain
-// double-accumulation reference. The partition must not change the result
-// beyond float re-association noise.
+//  * serial vs parallel: every GEMM variant and the conv forward/backward
+//    path under a 1-thread and an N-thread pool, against a double-precision
+//    reference — the partition must not change the result beyond float
+//    re-association noise;
+//  * SIMD vs portable: the dispatched micro-kernel against the pinned
+//    portable kernel across remainder shapes around every tile boundary
+//    (tolerance-compared — FMA contraction is the only permitted difference);
+//  * fused im2col vs explicit: gemm_im2col against materialise-then-gemm,
+//    bit-identical;
+//  * gemm_batched vs looped gemm, bit-identical.
+//
+// CTest runs this binary twice (label `kernels`): once with runtime dispatch
+// and once under NEBULA_FORCE_PORTABLE_KERNEL=1, where the SIMD comparisons
+// skip and everything else must still hold on the pure portable path.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "nn/conv.h"
 #include "parallel/thread_pool.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace nebula {
@@ -201,6 +212,186 @@ TEST(ConvEquivalence, ForwardBackwardSerialVsParallel) {
       expect_close(dx4, dx1, tol, "conv dx");
       expect_close(conv.params()[0]->grad, dw1, tol, "conv dW");
       expect_close(conv.params()[1]->grad, db1, tol, "conv db");
+    }
+  }
+}
+
+// Restores runtime dispatch even if an assertion unwinds the test body.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(const char* name) : ok_(gemm_force_kernel(name)) {}
+  ~ScopedKernel() { gemm_force_kernel("auto"); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+void expect_bits_equal(const float* got, const float* want, std::int64_t n,
+                       const char* what) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(float)), 0)
+        << what << " differs at " << i << ": got " << got[i] << " want "
+        << want[i];
+  }
+}
+
+TEST(KernelDispatch, ForceAndRestore) {
+  const std::string initial = gemm_kernel_name();
+  EXPECT_FALSE(initial.empty());
+  {
+    ScopedKernel pin("portable-6x8");
+    ASSERT_TRUE(pin.ok());
+    EXPECT_STREQ(gemm_kernel_name(), "portable-6x8");
+    EXPECT_FALSE(gemm_force_kernel("no-such-kernel"));
+    EXPECT_STREQ(gemm_kernel_name(), "portable-6x8");  // unchanged on failure
+  }
+  EXPECT_EQ(gemm_kernel_name(), initial);
+}
+
+TEST(KernelDispatch, SimdVsPortableAcrossRemainderShapes) {
+  if (std::string(gemm_kernel_name()) == "portable-6x8") {
+    GTEST_SKIP() << "no SIMD kernel dispatched on this host/configuration";
+  }
+  // Every value straddles a tile boundary of at least one registered kernel:
+  // 1..9 covers MR±1 for MR ∈ {6, 8}, 15..17 covers NR±1 for NR = 16, and
+  // 129/255 cross the MC/KC cache blocks with a remainder. The portable
+  // result (no FMA) is the baseline; SIMD may differ only by fused rounding.
+  const std::int64_t dims[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 129,
+                               255};
+  Rng rng(20260808);
+  for (const std::int64_t m : dims) {
+    for (const std::int64_t k : dims) {
+      for (const std::int64_t n : dims) {
+        Tensor a({m, k}), b({k, n});
+        fill_random(a, rng);
+        fill_random(b, rng);
+        Tensor c_simd({m, n}), c_port({m, n});
+        gemm(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n,
+             c_simd.data(), n, false);
+        {
+          ScopedKernel pin("portable-6x8");
+          ASSERT_TRUE(pin.ok());
+          gemm(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n,
+               c_port.data(), n, false);
+        }
+        SCOPED_TRACE(testing::Message()
+                     << "m=" << m << " k=" << k << " n=" << n);
+        const float tol = 1e-5f * std::sqrt(static_cast<float>(k));
+        expect_close(c_simd, c_port, tol, "simd vs portable");
+      }
+    }
+  }
+}
+
+// gemm_im2col must produce exactly the bits of materialise-col-then-gemm:
+// the packed panels (and the naive paths) read identical elements in
+// identical order, so this is equality, not tolerance.
+TEST(FusedIm2col, BitIdenticalToExplicitLowering) {
+  const ConvCase cases[] = {
+      {3, 5, 9, 9, 3, 1, 1, 1},    // small: naive path
+      {1, 4, 7, 5, 3, 2, 0, 1},    // stride 2, no pad
+      {4, 6, 17, 13, 5, 2, 2, 1},  // 5x5 taps, rectangular
+      {8, 16, 19, 19, 3, 1, 1, 1},  // blocked path (beats the flop threshold)
+  };
+  Rng rng(4242);
+  for (const auto& cc : cases) {
+    const Im2colMap map{cc.in_c, cc.h, cc.w, cc.k, cc.k, cc.stride, cc.pad};
+    const std::int64_t rows = map.rows(), cols = map.cols();
+    Tensor x({cc.in_c, cc.h, cc.w}), wgt({cc.out_c, rows}), gy({cc.out_c,
+                                                                cols});
+    fill_random(x, rng);
+    fill_random(wgt, rng);
+    fill_random(gy, rng);
+    Tensor col({rows, cols});
+    im2col(x.data(), cc.in_c, cc.h, cc.w, cc.k, cc.k, cc.stride, cc.pad,
+           col.data());
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ScopedPool scope(threads);
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " in_c=" << cc.in_c
+                   << " k=" << cc.k << " stride=" << cc.stride
+                   << " pad=" << cc.pad);
+      // Forward product: C(out_c, cols) = W · col.
+      Tensor want({cc.out_c, cols}), got({cc.out_c, cols});
+      gemm(Trans::N, Trans::N, cc.out_c, cols, rows, wgt.data(), rows,
+           col.data(), cols, want.data(), cols, false);
+      gemm_im2col(Trans::N, cc.out_c, wgt.data(), rows, x.data(), map,
+                  got.data(), cols, false);
+      expect_bits_equal(got.data(), want.data(), got.numel(), "fused fwd");
+      // Weight-gradient product: C(out_c, rows) += gy · col^T.
+      Tensor want_t({cc.out_c, rows}), got_t({cc.out_c, rows});
+      fill_random(want_t, rng);
+      std::memcpy(got_t.data(), want_t.data(),
+                  static_cast<std::size_t>(want_t.numel()) * sizeof(float));
+      gemm(Trans::N, Trans::T, cc.out_c, rows, cols, gy.data(), cols,
+           col.data(), cols, want_t.data(), rows, true);
+      gemm_im2col(Trans::T, cc.out_c, gy.data(), cols, x.data(), map,
+                  got_t.data(), rows, true);
+      expect_bits_equal(got_t.data(), want_t.data(), got_t.numel(),
+                        "fused dW");
+    }
+  }
+}
+
+TEST(GemmBatched, BitIdenticalToLoopedGemm) {
+  // Mixed batch: sub-threshold items (naive fan-out), blocked items, and a
+  // run of blocked items sharing one B operand (the pack-once group path).
+  Rng rng(1717);
+  struct Shape {
+    std::int64_t m, n, k;
+    bool share_b;
+  };
+  const Shape shapes[] = {
+      {3, 5, 4, false},    {7, 9, 11, false},  {40, 64, 48, false},
+      {24, 64, 48, true},  {56, 64, 48, true}, {16, 64, 48, true},
+      {5, 3, 2, false},    {96, 33, 17, false},
+  };
+  const std::size_t count = sizeof(shapes) / sizeof(shapes[0]);
+  Tensor shared_b({48, 64});
+  fill_random(shared_b, rng);
+  std::vector<Tensor> as, bs, c_batch, c_loop;
+  for (const auto& s : shapes) {
+    as.emplace_back(Tensor({s.m, s.k}));
+    fill_random(as.back(), rng);
+    if (!s.share_b) {
+      bs.emplace_back(Tensor({s.k, s.n}));
+      fill_random(bs.back(), rng);
+    } else {
+      bs.emplace_back(Tensor({1}));  // placeholder, shared_b used instead
+    }
+    Tensor c0({s.m, s.n});
+    fill_random(c0, rng);  // exercised by the accumulate pass below
+    c_batch.push_back(c0);
+    c_loop.push_back(c0);
+  }
+  for (bool accumulate : {false, true}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ScopedPool scope(threads);
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " accumulate=" << accumulate);
+      std::vector<GemmBatchItem> items;
+      for (std::size_t i = 0; i < count; ++i) {
+        const float* b =
+            shapes[i].share_b ? shared_b.data() : bs[i].data();
+        items.push_back({shapes[i].m, shapes[i].n, shapes[i].k,
+                         as[i].data(), shapes[i].k, b, shapes[i].n,
+                         c_batch[i].data(), shapes[i].n});
+      }
+      gemm_batched(Trans::N, Trans::N, items.data(), items.size(),
+                   accumulate);
+      for (std::size_t i = 0; i < count; ++i) {
+        const float* b =
+            shapes[i].share_b ? shared_b.data() : bs[i].data();
+        gemm(Trans::N, Trans::N, shapes[i].m, shapes[i].n, shapes[i].k,
+             as[i].data(), shapes[i].k, b, shapes[i].n, c_loop[i].data(),
+             shapes[i].n, accumulate);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        SCOPED_TRACE(testing::Message() << "item " << i);
+        expect_bits_equal(c_batch[i].data(), c_loop[i].data(),
+                          c_batch[i].numel(), "gemm_batched");
+      }
     }
   }
 }

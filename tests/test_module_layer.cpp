@@ -270,5 +270,55 @@ TEST(ModuleLayer, ConstructorValidatesIds) {
   EXPECT_THROW(ModuleLayer({}, {}, 0), std::runtime_error);
 }
 
+// Residual MLP modules of varying hidden widths plus an Identity — the shape
+// the batched inference dispatch targets (model_zoo's mlp_module). The fast
+// path must be bit-identical to the generic per-module traversal.
+TEST(ModuleLayer, BatchedDispatchBitIdenticalToGenericPath) {
+  init::reseed(308);
+  const std::int64_t width = 24, batch = 9;
+  std::vector<LayerPtr> mods;
+  for (std::int64_t h : {32, 16, 48}) {
+    auto seq = std::make_unique<Sequential>();
+    seq->emplace<Linear>(width, h);
+    seq->emplace<ReLU>();
+    seq->emplace<Linear>(h, width);
+    mods.push_back(std::make_unique<Residual>(std::move(seq)));
+  }
+  mods.push_back(std::make_unique<Identity>());
+  ModuleLayer layer(std::move(mods), iota_ids(4), 4);
+
+  Rng rng(88);
+  Tensor x({batch, width});
+  fill_random(x, rng);
+  Tensor gates({batch, 4});
+  for (std::int64_t i = 0; i < gates.numel(); ++i) {
+    gates[static_cast<std::size_t>(i)] = 0.05f + rng.uniform();
+  }
+  RoutingOpts opts;
+  opts.top_k = 2;
+
+  ASSERT_TRUE(layer.batched_dispatch());
+  Tensor y_fast = layer.forward(x, gates, opts, /*train=*/false);
+  layer.set_batched_dispatch(false);
+  Tensor y_generic = layer.forward(x, gates, opts, /*train=*/false);
+  layer.set_batched_dispatch(true);
+
+  ASSERT_EQ(y_fast.numel(), y_generic.numel());
+  for (std::int64_t i = 0; i < y_fast.numel(); ++i) {
+    ASSERT_EQ(y_fast[static_cast<std::size_t>(i)],
+              y_generic[static_cast<std::size_t>(i)])
+        << "fast path diverged at " << i;
+  }
+
+  // Training mode must ignore the fast path (it needs per-module caches).
+  Tensor y_train = layer.forward(x, gates, opts, /*train=*/true);
+  ASSERT_EQ(y_train.numel(), y_fast.numel());
+  for (std::int64_t i = 0; i < y_fast.numel(); ++i) {
+    ASSERT_EQ(y_train[static_cast<std::size_t>(i)],
+              y_fast[static_cast<std::size_t>(i)])
+        << "train/eval divergence at " << i;
+  }
+}
+
 }  // namespace
 }  // namespace nebula

@@ -116,7 +116,7 @@ TEST(ThreadPool, ScratchIsDistinctPerParticipant) {
   pool.parallel_for_chunked(
       0, 64,
       [&](std::size_t, std::size_t) {
-        float* buf = pool.scratch_floats(ThreadPool::kScratchConvCol, 128);
+        float* buf = pool.scratch_floats(ThreadPool::kScratchConvGrad, 128);
         std::lock_guard<std::mutex> lock(mu);
         by_worker[ThreadPool::current_worker_index()].insert(buf);
       },

@@ -28,7 +28,7 @@ import os
 import subprocess
 import sys
 
-DEFAULT_FILTER = "BM_Gemm|BM_Conv"
+DEFAULT_FILTER = "BM_Gemm|BM_Conv|BM_ModuleLayer"
 
 
 def run_benchmark(bench_bin, bench_filter, min_time):
@@ -130,7 +130,13 @@ def run_kernel_suite(args):
         return 1
 
     out_path = os.path.join(args.repo_root, "BENCH_kernels.json")
-    context = {"num_cpus": raw.get("context", {}).get("num_cpus")}
+    raw_ctx = raw.get("context", {})
+    context = {"num_cpus": raw_ctx.get("num_cpus")}
+    # Dispatch context, emitted by bench_micro_kernels' custom main: which
+    # micro-kernel ran and what the CPU advertises. Old dumps lack these.
+    for key in ("gemm_kernel", "cpu_features"):
+        if raw_ctx.get(key) is not None:
+            context[key] = raw_ctx[key]
     entries = append_entry(out_path, KERNELS_NOTE, args.label, context,
                            results)
 
