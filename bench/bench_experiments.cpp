@@ -47,6 +47,28 @@ int main() {
     run_fault_comparison(env, scale, fc, /*seed=*/9500);
   }
 
+  std::fprintf(stderr,
+               "figure: byzantine cell (HAR, 30%% sign-flip, trimmed mean)…\n");
+  {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/9600);
+    FaultConfig fc;
+    fc.byzantine_fraction = 0.3;
+    fc.byzantine_kind = ByzantineKind::kSignFlip;
+    fc.num_devices = scale.devices;
+    fc.seed = 9700;
+    RobustAggregationConfig robust;
+    robust.kind = RobustAggregatorKind::kTrimmedMean;
+    robust.anomaly_threshold = 4.0;
+    run_byzantine_comparison(env, scale, fc, robust, /*seed=*/9800);
+  }
+
+  std::fprintf(stderr, "figure: drift cell (HAR, 50%% drift, 10%% churn)…\n");
+  {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/9900);
+    run_drift_comparison(env, scale, /*drift_rate=*/0.5f, /*churn_prob=*/0.1f,
+                         /*seed=*/10000);
+  }
+
   for (const auto& [name, wall_s] :
        obs::MetricsRegistry::instance().gauges_with_prefix("experiment.")) {
     std::fprintf(stderr, "  %-48s %8.2f s\n", name.c_str(), wall_s);

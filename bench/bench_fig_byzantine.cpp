@@ -1,0 +1,111 @@
+// Byzantine sweep — robust aggregation vs undefended averaging under attack.
+//
+// A 30% colluding sign-flip coalition passes every norm/finiteness check
+// (flipping signs preserves RMS exactly), so validate_update alone cannot
+// stop it. This bench compares, under the identical seeded adversary
+// schedule:
+//   * FedAvg  — undefended: attacker states are averaged straight in, and a
+//               persistent 30% sign-flip coalition drives the global model
+//               to near-chance within a few rounds.
+//   * Nebula  — robust aggregation (DESIGN.md §13): the anomaly gate
+//               quarantines updates far from the cross-device coordinate
+//               median, and median/trimmed-mean/Krum statistics bound the
+//               damage of anything that slips through.
+//
+// Expected shape: under attack FedAvg collapses toward chance (HAR: 6
+// classes, ~16.7%) while Nebula with trimmed-mean or Krum stays within a few
+// points of its own no-attack accuracy.
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+
+int main() {
+  using namespace nebula;
+  const BenchScale scale = BenchScale::from_env();
+  TaskSpec spec = task_by_name("HAR", "1 subject");
+
+  std::printf(
+      "Byzantine sweep: %lld devices, %lld/round, %lld rounds per cell\n",
+      static_cast<long long>(scale.devices),
+      static_cast<long long>(scale.devices_per_round),
+      static_cast<long long>(2 * scale.warm_rounds));
+
+  auto attack = [&](ByzantineKind kind, double fraction) {
+    FaultConfig fc;
+    fc.byzantine_fraction = fraction;
+    fc.byzantine_kind = kind;
+    fc.num_devices = scale.devices;  // exact attacker count, not binomial
+    fc.seed = 8200;
+    return fc;
+  };
+
+  // ---- Aggregator sweep under a 30% colluding sign-flip attack ---------------
+  std::printf("\n(a) aggregators under 30%% colluding sign-flip attackers\n");
+  Table agg_table({"Aggregator", "Attack", "Nebula acc", "FedAvg acc",
+                   "Robust-rejected", "Finite"});
+  struct AggCell {
+    const char* label;
+    RobustAggregationConfig robust;
+    double fraction;
+  };
+  RobustAggregationConfig plain;  // weighted mean, no anomaly gate
+  RobustAggregationConfig trimmed;
+  trimmed.kind = RobustAggregatorKind::kTrimmedMean;
+  trimmed.anomaly_threshold = 4.0;
+  RobustAggregationConfig median;
+  median.kind = RobustAggregatorKind::kMedian;
+  median.anomaly_threshold = 4.0;
+  RobustAggregationConfig krum;
+  krum.kind = RobustAggregatorKind::kKrum;
+  krum.anomaly_threshold = 4.0;
+  const AggCell cells[] = {
+      {"weighted_mean (clean)", plain, 0.0},
+      {"trimmed_mean (clean)", trimmed, 0.0},
+      {"weighted_mean", plain, 0.3},
+      {"median", median, 0.3},
+      {"trimmed_mean", trimmed, 0.3},
+      {"krum", krum, 0.3},
+  };
+  for (const AggCell& cell : cells) {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/8100);
+    const FaultConfig fc = attack(ByzantineKind::kSignFlip, cell.fraction);
+    ByzantineSweepResult r =
+        run_byzantine_comparison(env, scale, fc, cell.robust, 8300);
+    for (const RoundReport& rep : r.round_reports) {
+      std::printf("  %s\n", rep.summary().c_str());
+    }
+    agg_table.add_row(
+        {cell.label, Table::num(cell.fraction * 100, 0) + "%",
+         Table::num(r.nebula_acc * 100, 2), Table::num(r.fedavg_acc * 100, 2),
+         Table::num(static_cast<double>(r.robust_rejected), 0),
+         r.nebula_finite && r.fedavg_finite ? "yes" : "NO"});
+    std::fflush(stdout);
+  }
+  agg_table.print();
+
+  // ---- Attack-kind sweep with the trimmed-mean defense -----------------------
+  std::printf("\n(b) attack kinds vs trimmed-mean + anomaly gate\n");
+  Table kind_table(
+      {"Attack kind", "Nebula acc", "FedAvg acc", "Robust-rejected"});
+  const ByzantineKind kinds[] = {ByzantineKind::kSignFlip,
+                                 ByzantineKind::kScaled,
+                                 ByzantineKind::kSameDirection};
+  for (ByzantineKind kind : kinds) {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/8100);
+    ByzantineSweepResult r = run_byzantine_comparison(
+        env, scale, attack(kind, 0.3), trimmed, 8300);
+    kind_table.add_row({byzantine_kind_name(kind),
+                        Table::num(r.nebula_acc * 100, 2),
+                        Table::num(r.fedavg_acc * 100, 2),
+                        Table::num(static_cast<double>(r.robust_rejected), 0)});
+    std::fflush(stdout);
+  }
+  kind_table.print();
+
+  std::printf(
+      "\nShape check: undefended FedAvg collapses toward chance under the "
+      "30%% sign-flip coalition; Nebula's robust aggregators hold within a "
+      "few points of the clean run.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Dynamic-environment sweep — class-mixture drift and device churn.
+//
+// The paper's premise is that edge environments move: local class mixtures
+// slew over rounds and devices leave, replaced by new ones with different
+// tasks and data. This bench advances the population every round
+// (EdgePopulation::environment_step) while Nebula and FedAvg adapt, and
+// reports mean device accuracy at the end of the run.
+//
+// Expected shape: both methods lose accuracy as the environment speeds up,
+// but Nebula's per-device sub-model derivation re-personalises every round,
+// so it holds a margin over the one-size global model under drift + churn.
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+
+int main() {
+  using namespace nebula;
+  const BenchScale scale = BenchScale::from_env();
+  TaskSpec spec = task_by_name("HAR", "1 subject");
+
+  std::printf("Drift sweep: %lld devices, %lld/round, %lld rounds per cell\n",
+              static_cast<long long>(scale.devices),
+              static_cast<long long>(scale.devices_per_round),
+              static_cast<long long>(2 * scale.warm_rounds));
+
+  Table table({"Drift", "Churn", "Nebula acc", "FedAvg acc", "Churn events"});
+  struct Cell {
+    float drift;
+    float churn;
+  };
+  const Cell cells[] = {{0.0f, 0.0f}, {0.5f, 0.0f}, {0.5f, 0.2f}};
+  for (const Cell& cell : cells) {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/8700);
+    DriftSweepResult r =
+        run_drift_comparison(env, scale, cell.drift, cell.churn, 8800);
+    for (const RoundReport& rep : r.round_reports) {
+      std::printf("  %s\n", rep.summary().c_str());
+    }
+    table.add_row({Table::num(cell.drift * 100, 0) + "%",
+                   Table::num(cell.churn * 100, 0) + "%",
+                   Table::num(r.nebula_acc * 100, 2),
+                   Table::num(r.fedavg_acc * 100, 2),
+                   Table::num(static_cast<double>(r.churned_devices), 0)});
+    std::fflush(stdout);
+  }
+  table.print();
+
+  std::printf(
+      "\nShape check: accuracy decays as the environment speeds up; Nebula's "
+      "per-round re-personalisation degrades more gracefully than the global "
+      "model.\n");
+  return 0;
+}

@@ -52,6 +52,11 @@ std::vector<std::int64_t> FedAvg::round() {
           const DeviceFate fate =
               faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
           if (fate.dropped) return;
+          const std::int64_t region =
+              static_cast<std::size_t>(k) < regions_.size()
+                  ? regions_[static_cast<std::size_t>(k)]
+                  : 0;
+          if (faults_ && faults_->regional_outage(round_idx, region)) return;
           slot.ledger.record_download(bytes);
           auto local = global_->clone();
           TrainConfig cfg = cfg_.local;
@@ -61,6 +66,13 @@ std::vector<std::int64_t> FedAvg::round() {
           if (fate.crashes_before_upload) return;
           slot.ledger.record_upload(bytes);
           std::vector<float> state = get_state(*local);
+          // Undefended baseline: a Byzantine rewrite of the flat state is
+          // averaged straight into the global model.
+          if (faults_ && faults_->is_byzantine(k)) {
+            apply_byzantine_payload(state, faults_->config(),
+                                    faults_->collusion_key(round_idx,
+                                                           /*coord=*/-1));
+          }
           if (fate.corruption != CorruptionKind::kNone &&
               fate.corruption != CorruptionKind::kTruncate) {
             // FedAvg ships one flat state vector, so a truncated payload

@@ -50,6 +50,12 @@ class FedAvg {
   /// detach.
   void set_fault_injector(const FaultInjector* faults) { faults_ = faults; }
 
+  /// Region tags for correlated outages (index = device id). Without them
+  /// every device sits in region 0 of the injector's outage draw.
+  void set_device_regions(std::vector<std::int64_t> regions) {
+    regions_ = std::move(regions);
+  }
+
   Layer& global() { return *global_; }
   CommLedger& ledger() { return ledger_; }
 
@@ -60,6 +66,7 @@ class FedAvg {
   CommLedger ledger_;
   Rng rng_;
   const FaultInjector* faults_ = nullptr;
+  std::vector<std::int64_t> regions_;
   std::int64_t round_index_ = 0;
 };
 

@@ -31,8 +31,10 @@ HeteroFL::HeteroFL(std::function<LayerPtr(double)> factory,
   // Capacity quantiles map devices onto width tiers evenly.
   device_tier_ = assign_tiers_by_capacity(profiles, widths.size());
   device_width_.reserve(profiles.size());
+  regions_.reserve(profiles.size());
   for (std::size_t k = 0; k < profiles.size(); ++k) {
     device_width_.push_back(widths[device_tier_[k]]);
+    regions_.push_back(profiles[k].region);
   }
 }
 
@@ -66,12 +68,26 @@ std::vector<std::int64_t> HeteroFL::round() {
   // Serial prologue: tier models come from `factory_`, which draws from the
   // process-wide init RNG — constructing them inside the parallel region
   // would race on (and reorder) that stream. The freshly initialised
-  // weights are then fully overwritten by nested_extract.
+  // weights are then fully overwritten by nested_extract. Fates are drawn
+  // here too (pure per (round, device)); dropped or blacked-out devices
+  // never download.
   std::vector<std::int64_t> participants;
   std::vector<LayerPtr> subs(pick.size());
+  std::vector<DeviceFate> fates(pick.size());
+  std::vector<char> alive(pick.size(), 1);
   for (std::size_t i = 0; i < pick.size(); ++i) {
     const std::int64_t k = static_cast<std::int64_t>(pick[i]);
     participants.push_back(k);
+    if (faults_) {
+      fates[i] = faults_->device_fate(round_idx, k);
+      const std::int64_t region = static_cast<std::size_t>(k) < regions_.size()
+                                      ? regions_[static_cast<std::size_t>(k)]
+                                      : 0;
+      if (fates[i].dropped || faults_->regional_outage(round_idx, region)) {
+        alive[i] = 0;
+        continue;
+      }
+    }
     subs[i] = factory_(device_width_[static_cast<std::size_t>(k)]);
     nested_extract(*global_, *subs[i]);
     ledger_.record_download(state_bytes(*subs[i]));
@@ -79,26 +95,55 @@ std::vector<std::int64_t> HeteroFL::round() {
 
   // Parallel local training: private model per slot, derived seeds.
   std::vector<std::exception_ptr> errors(pick.size());
+  std::vector<char> uploaded(pick.size(), 0);
   ThreadPool::global().parallel_for(
       0, pick.size(),
       [&](std::size_t i) {
         try {
+          if (!alive[i]) return;
           const std::int64_t k = static_cast<std::int64_t>(pick[i]);
           TrainConfig cfg = cfg_.local;
           cfg.seed =
               derive_stream_seed(cfg_.seed, round_idx, k, kHeteroFLTrainSalt);
           train_plain(*subs[i], pop_.local_data(k), cfg);
+          if (fates[i].crashes_before_upload) return;
+          // Undefended baseline: Byzantine rewrites and NaN/zero channel
+          // damage land in the upload unvalidated (a truncated nested state
+          // would be unloadable, so that kind is skipped like in FedAvg).
+          if (faults_ && (faults_->is_byzantine(k) ||
+                          (fates[i].corruption != CorruptionKind::kNone &&
+                           fates[i].corruption != CorruptionKind::kTruncate))) {
+            std::vector<float> state = get_state(*subs[i]);
+            if (faults_->is_byzantine(k)) {
+              apply_byzantine_payload(state, faults_->config(),
+                                      faults_->collusion_key(round_idx,
+                                                             /*coord=*/-1));
+            }
+            if (fates[i].corruption != CorruptionKind::kNone &&
+                fates[i].corruption != CorruptionKind::kTruncate) {
+              Rng crng = faults_->payload_rng(round_idx, k);
+              FaultInjector::corrupt_payload(state, fates[i].corruption, crng);
+            }
+            set_state(*subs[i], state);
+          }
+          uploaded[i] = 1;
         } catch (...) {
           errors[i] = std::current_exception();
         }
       },
       /*grain=*/1);
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  if (std::find(uploaded.begin(), uploaded.end(), char(1)) == uploaded.end()) {
+    return participants;  // every device lost: round leaves the model alone
+  }
 
   // Ordered epilogue: fold updates in participant order so the aggregator's
   // float accumulation is identical for any worker count.
   NestedAggregator agg(*global_);
   for (std::size_t i = 0; i < pick.size(); ++i) {
-    if (errors[i]) std::rethrow_exception(errors[i]);
+    if (!uploaded[i]) continue;
     const std::int64_t k = static_cast<std::int64_t>(pick[i]);
     ledger_.record_upload(state_bytes(*subs[i]));
     agg.add(*subs[i], static_cast<double>(pop_.local_data(k).size()));

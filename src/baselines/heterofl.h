@@ -15,6 +15,7 @@
 #include "data/partition.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
+#include "sim/faults.h"
 
 namespace nebula {
 
@@ -61,6 +62,14 @@ class HeteroFL {
   Layer& global() { return *global_; }
   CommLedger& ledger() { return ledger_; }
 
+  /// Subjects rounds to the same fault schedule Nebula faces. Like FedAvg,
+  /// HeteroFL is an undefended comparator: dropped or blacked-out devices
+  /// are simply missing, and Byzantine or NaN/zero-corrupted uploads are
+  /// folded straight into the global model (truncated payloads would be
+  /// unloadable for a nested state and are skipped). Non-owning; pass
+  /// nullptr to detach.
+  void set_fault_injector(const FaultInjector* faults) { faults_ = faults; }
+
  private:
   std::function<LayerPtr(double)> factory_;
   LayerPtr global_;
@@ -69,8 +78,10 @@ class HeteroFL {
   std::vector<double> device_width_;
   std::vector<std::size_t> device_tier_;   // device -> index into widths
   std::vector<LayerPtr> eval_models_;      // per-tier, refresh_eval_models()
+  std::vector<std::int64_t> regions_;      // from the construction profiles
   CommLedger ledger_;
   Rng rng_;
+  const FaultInjector* faults_ = nullptr;
   std::int64_t round_index_ = 0;
 };
 

@@ -24,6 +24,198 @@ bool rms_within(const std::vector<float>& v, double bound) {
   return std::sqrt(ss / static_cast<double>(v.size())) <= bound;
 }
 
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    m = 0.5 * (m + *std::max_element(
+                        v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid)));
+  }
+  return m;
+}
+
+/// Coordinate-wise median of equal-length states.
+std::vector<double> coordinate_median(
+    const std::vector<const std::vector<float>*>& states) {
+  std::vector<double> med(states.front()->size(), 0.0);
+  std::vector<double> col(states.size());
+  for (std::size_t i = 0; i < med.size(); ++i) {
+    for (std::size_t k = 0; k < states.size(); ++k) col[k] = (*states[k])[i];
+    med[i] = median_of(col);
+  }
+  return med;
+}
+
+double rms_distance(const std::vector<float>& s,
+                    const std::vector<double>& center) {
+  if (s.empty()) return 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double d = static_cast<double>(s[i]) - center[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(s.size()));
+}
+
+/// Krum winner: the candidate with the smallest sum of squared distances to
+/// its n-f-2 nearest co-candidates (ties break toward the earlier update,
+/// i.e. participant order — deterministic).
+std::size_t krum_winner(const std::vector<const std::vector<float>*>& states,
+                        std::int64_t assumed_byzantine) {
+  const std::size_t n = states.size();
+  if (n <= 2) return 0;
+  std::int64_t f = assumed_byzantine > 0
+                       ? assumed_byzantine
+                       : static_cast<std::int64_t>(n) / 4;
+  f = std::min<std::int64_t>(f, static_cast<std::int64_t>(n) - 3);
+  const std::size_t neighbors = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(n) - f - 2));
+  // Pairwise squared distances (n is a round's participant count — tiny).
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      double ss = 0.0;
+      const auto& sa = *states[a];
+      const auto& sb = *states[b];
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        const double d = static_cast<double>(sa[i]) - static_cast<double>(sb[i]);
+        ss += d * d;
+      }
+      dist[a * n + b] = dist[b * n + a] = ss;
+    }
+  }
+  std::size_t best = 0;
+  double best_score = 0.0;
+  std::vector<double> row(n - 1);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t w = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b != a) row[w++] = dist[a * n + b];
+    }
+    std::sort(row.begin(), row.end());
+    double score = 0.0;
+    for (std::size_t i = 0; i < std::min(neighbors, row.size()); ++i) {
+      score += row[i];
+    }
+    if (a == 0 || score < best_score) {
+      best = a;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+/// Folds one robust per-coordinate statistic of `states` into `merged`
+/// (already scaled by 1-mix). Weighted mean is handled by the caller.
+void fold_robust(std::vector<float>& merged,
+                 const std::vector<const std::vector<float>*>& states,
+                 float server_mix, const RobustAggregationConfig& robust) {
+  const std::size_t n = states.size();
+  switch (robust.kind) {
+    case RobustAggregatorKind::kWeightedMean:
+      NEBULA_CHECK_MSG(false, "weighted mean is not a fold_robust statistic");
+      return;
+    case RobustAggregatorKind::kMedian: {
+      std::vector<double> col(n);
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        for (std::size_t k = 0; k < n; ++k) col[k] = (*states[k])[i];
+        merged[i] += server_mix * static_cast<float>(median_of(col));
+      }
+      return;
+    }
+    case RobustAggregatorKind::kTrimmedMean: {
+      std::size_t trim = static_cast<std::size_t>(
+          std::max(0.0, robust.trim_fraction) * static_cast<double>(n));
+      if (2 * trim >= n) trim = (n - 1) / 2;
+      std::vector<double> col(n);
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        for (std::size_t k = 0; k < n; ++k) col[k] = (*states[k])[i];
+        std::sort(col.begin(), col.end());
+        double sum = 0.0;
+        for (std::size_t k = trim; k < n - trim; ++k) sum += col[k];
+        merged[i] += server_mix *
+                     static_cast<float>(sum / static_cast<double>(n - 2 * trim));
+      }
+      return;
+    }
+    case RobustAggregatorKind::kKrum: {
+      const auto& winner = *states[krum_winner(states,
+                                               robust.krum_assumed_byzantine)];
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        merged[i] += server_mix * winner[i];
+      }
+      return;
+    }
+  }
+}
+
+/// Scale-free anomaly scores over the valid updates: for every payload
+/// (module or shared state) with >= 3 carriers, each carrier's RMS distance
+/// to the coordinate-wise median is divided by the median of those
+/// distances; an update's score is the mean ratio over its scored payloads.
+/// Honest updates land near 1; a sign-flipped or re-directed one lands at a
+/// large multiple, however large or small the parameters themselves are.
+std::vector<double> anomaly_scores_for(
+    ModularModel& cloud, const std::vector<const EdgeUpdate*>& valid) {
+  constexpr double kEps = 1e-12;
+  constexpr std::size_t kMinCarriers = 3;
+  std::vector<double> score_sum(valid.size(), 0.0);
+  std::vector<std::int64_t> score_n(valid.size(), 0);
+  auto score_payload = [&](const std::vector<std::size_t>& carriers,
+                           const std::vector<const std::vector<float>*>& states) {
+    if (carriers.size() < kMinCarriers || states.front()->empty()) return;
+    const std::vector<double> med = coordinate_median(states);
+    std::vector<double> d(carriers.size());
+    for (std::size_t k = 0; k < carriers.size(); ++k) {
+      d[k] = rms_distance(*states[k], med);
+    }
+    const double scale = median_of(d);
+    for (std::size_t k = 0; k < carriers.size(); ++k) {
+      score_sum[carriers[k]] += d[k] / (scale + kEps);
+      ++score_n[carriers[k]];
+    }
+  };
+
+  const std::size_t l_count = cloud.num_module_layers();
+  for (std::size_t l = 0; l < l_count; ++l) {
+    for (std::int64_t gid = 0; gid < cloud.full_widths()[l]; ++gid) {
+      std::vector<std::size_t> carriers;
+      std::vector<const std::vector<float>*> states;
+      for (std::size_t u = 0; u < valid.size(); ++u) {
+        const auto& ids = valid[u]->spec.modules[l];
+        const auto it = std::find(ids.begin(), ids.end(), gid);
+        if (it == ids.end()) continue;
+        carriers.push_back(u);
+        states.push_back(&valid[u]->module_states[l][static_cast<std::size_t>(
+            it - ids.begin())]);
+      }
+      if (!carriers.empty()) score_payload(carriers, states);
+    }
+  }
+  // Shared components: every update carries them, so this payload is the
+  // one a small round can always be judged on.
+  {
+    std::vector<std::size_t> carriers(valid.size());
+    std::vector<const std::vector<float>*> states(valid.size());
+    for (std::size_t u = 0; u < valid.size(); ++u) {
+      carriers[u] = u;
+      states[u] = &valid[u]->shared_state;
+    }
+    score_payload(carriers, states);
+  }
+
+  std::vector<double> scores(valid.size(), 0.0);
+  for (std::size_t u = 0; u < valid.size(); ++u) {
+    if (score_n[u] > 0) {
+      scores[u] = score_sum[u] / static_cast<double>(score_n[u]);
+    }
+  }
+  return scores;
+}
+
 }  // namespace
 
 const char* update_verdict_name(UpdateVerdict v) {
@@ -34,6 +226,27 @@ const char* update_verdict_name(UpdateVerdict v) {
     case UpdateVerdict::kNonFinite: return "non-finite";
     case UpdateVerdict::kNormBound: return "norm-bound";
     case UpdateVerdict::kNoSamples: return "no-samples";
+    case UpdateVerdict::kRobustOutlier: return "robust-outlier";
+  }
+  return "?";
+}
+
+bool verdict_is_structural(UpdateVerdict v) {
+  return v == UpdateVerdict::kLayerCountMismatch ||
+         v == UpdateVerdict::kStateSizeMismatch ||
+         v == UpdateVerdict::kNoSamples;
+}
+
+bool verdict_is_norm(UpdateVerdict v) {
+  return v == UpdateVerdict::kNonFinite || v == UpdateVerdict::kNormBound;
+}
+
+const char* robust_aggregator_name(RobustAggregatorKind k) {
+  switch (k) {
+    case RobustAggregatorKind::kWeightedMean: return "weighted_mean";
+    case RobustAggregatorKind::kMedian: return "median";
+    case RobustAggregatorKind::kTrimmedMean: return "trimmed_mean";
+    case RobustAggregatorKind::kKrum: return "krum";
   }
   return "?";
 }
@@ -109,22 +322,67 @@ EdgeUpdate make_edge_update(ModularModel& submodel,
 void aggregate_module_wise(ModularModel& cloud,
                            const std::vector<EdgeUpdate>& updates,
                            AggregationWeighting weighting, float server_mix) {
+  aggregate_module_wise_robust(cloud, updates, weighting, server_mix,
+                               RobustAggregationConfig{});
+}
+
+AggregationOutcome aggregate_module_wise_robust(
+    ModularModel& cloud, const std::vector<EdgeUpdate>& updates,
+    AggregationWeighting weighting, float server_mix,
+    const RobustAggregationConfig& robust) {
   NEBULA_CHECK(server_mix > 0.0f && server_mix <= 1.0f);
   NEBULA_SPAN("aggregation.module_wise");
   static obs::Counter& m_updates = obs::counter("aggregation.updates");
   static obs::Counter& m_quarantined = obs::counter("aggregation.quarantined");
+  static obs::Counter& m_robust_rejected =
+      obs::counter("aggregation.robust_rejected");
+  AggregationOutcome out;
+  out.anomaly_scores.assign(updates.size(), 0.0);
   // Quarantine anything structurally wrong or non-finite *before* touching a
   // single cloud parameter, so a bad upload can never leave the cloud model
   // half-mutated or poisoned.
   std::vector<const EdgeUpdate*> valid;
+  std::vector<std::size_t> valid_idx;
   valid.reserve(updates.size());
-  for (const auto& up : updates) {
-    if (validate_update(cloud, up) == UpdateVerdict::kOk) valid.push_back(&up);
+  valid_idx.reserve(updates.size());
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    if (validate_update(cloud, updates[u]) == UpdateVerdict::kOk) {
+      valid.push_back(&updates[u]);
+      valid_idx.push_back(u);
+    } else {
+      out.invalid.push_back(u);
+    }
   }
   m_updates.add(static_cast<std::int64_t>(valid.size()));
   m_quarantined.add(static_cast<std::int64_t>(updates.size() - valid.size()));
-  if (valid.empty()) return;
+
+  // Anomaly pre-pass: scale-free distance ratios over co-updates; anything
+  // above the threshold is dropped before it can bias even a robust
+  // statistic. Skipped entirely under the default config so the legacy path
+  // performs exactly the original operations.
+  if (robust.active() && !valid.empty()) {
+    const std::vector<double> scores = anomaly_scores_for(cloud, valid);
+    for (std::size_t k = 0; k < valid.size(); ++k) {
+      out.anomaly_scores[valid_idx[k]] = scores[k];
+    }
+    if (robust.anomaly_threshold > 0.0) {
+      std::vector<const EdgeUpdate*> kept;
+      kept.reserve(valid.size());
+      for (std::size_t k = 0; k < valid.size(); ++k) {
+        if (scores[k] > robust.anomaly_threshold) {
+          out.robust_rejected.push_back(valid_idx[k]);
+        } else {
+          kept.push_back(valid[k]);
+        }
+      }
+      valid = std::move(kept);
+      m_robust_rejected.add(
+          static_cast<std::int64_t>(out.robust_rejected.size()));
+    }
+  }
+  if (valid.empty()) return out;
   const std::size_t l_count = cloud.num_module_layers();
+  const bool robust_fold = robust.kind != RobustAggregatorKind::kWeightedMean;
 
   // ---- Module-wise importance-weighted averaging -----------------------------
   for (std::size_t l = 0; l < l_count; ++l) {
@@ -148,36 +406,51 @@ void aggregate_module_wise(ModularModel& cloud,
       if (states.empty()) continue;  // untouched module keeps cloud weights
       std::vector<float> merged = cloud.module_state(l, gid);
       if (merged.empty()) continue;  // parameter-free module (identity)
-      double wsum = 0.0;
-      for (double w : weights) wsum += w;
-      for (auto& v : merged) v *= (1.0f - server_mix);
       for (std::size_t k = 0; k < states.size(); ++k) {
         NEBULA_CHECK_MSG(states[k]->size() == merged.size(),
                          "module state size mismatch during aggregation");
-        const float w = server_mix * static_cast<float>(weights[k] / wsum);
-        const auto& s = *states[k];
-        for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += w * s[i];
+      }
+      for (auto& v : merged) v *= (1.0f - server_mix);
+      if (robust_fold) {
+        fold_robust(merged, states, server_mix, robust);
+      } else {
+        double wsum = 0.0;
+        for (double w : weights) wsum += w;
+        for (std::size_t k = 0; k < states.size(); ++k) {
+          const float w = server_mix * static_cast<float>(weights[k] / wsum);
+          const auto& s = *states[k];
+          for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += w * s[i];
+        }
       }
       cloud.set_module_state(l, gid, merged);
     }
   }
 
-  // ---- Shared components: FedAvg by sample count ------------------------------
-  double n_total = 0.0;
-  for (const EdgeUpdate* up : valid) {
-    n_total += static_cast<double>(up->num_samples);
-  }
-  NEBULA_CHECK(n_total > 0.0);
+  // ---- Shared components: FedAvg by sample count (or the robust statistic) ---
   std::vector<float> merged = cloud.shared_state();
   for (auto& v : merged) v *= (1.0f - server_mix);
-  for (const EdgeUpdate* up : valid) {
-    const float w =
-        server_mix * static_cast<float>(up->num_samples / n_total);
-    for (std::size_t i = 0; i < merged.size(); ++i) {
-      merged[i] += w * up->shared_state[i];
+  if (robust_fold) {
+    std::vector<const std::vector<float>*> states;
+    states.reserve(valid.size());
+    for (const EdgeUpdate* up : valid) states.push_back(&up->shared_state);
+    fold_robust(merged, states, server_mix, robust);
+  } else {
+    double n_total = 0.0;
+    for (const EdgeUpdate* up : valid) {
+      n_total += static_cast<double>(up->num_samples);
+    }
+    NEBULA_CHECK(n_total > 0.0);
+    for (const EdgeUpdate* up : valid) {
+      const float w =
+          server_mix * static_cast<float>(up->num_samples / n_total);
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        merged[i] += w * up->shared_state[i];
+      }
     }
   }
   cloud.set_shared_state(merged);
+  out.applied = true;
+  return out;
 }
 
 }  // namespace nebula

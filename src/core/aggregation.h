@@ -43,9 +43,64 @@ enum class UpdateVerdict {
   kNonFinite,           // NaN/Inf anywhere in the payload
   kNormBound,           // payload RMS exceeds the configured bound
   kNoSamples,           // claims zero (or negative) training samples
+  kRobustOutlier,       // anomaly score flagged it at aggregation time
 };
 
 const char* update_verdict_name(UpdateVerdict v);
+
+/// Rejection-reason buckets for RoundReport accounting: structural verdicts
+/// (shape/sample-count lies), norm verdicts (non-finite or out-of-bound
+/// payloads); kRobustOutlier forms the third bucket on its own.
+bool verdict_is_structural(UpdateVerdict v);
+bool verdict_is_norm(UpdateVerdict v);
+
+/// Which statistic the server folds co-updates of one module with. The
+/// weighted mean is the paper's scheme (and the bit-identical default); the
+/// other three survive Byzantine uploads that pass validation — a sign-flip
+/// preserves RMS, so only a cross-device robust statistic can catch it.
+enum class RobustAggregatorKind {
+  kWeightedMean,  // importance/sample-weighted average (paper §5.2)
+  kMedian,        // coordinate-wise median
+  kTrimmedMean,   // coordinate-wise mean after trimming each tail
+  kKrum,          // per-module Krum: keep the candidate closest to its peers
+};
+
+const char* robust_aggregator_name(RobustAggregatorKind k);
+
+/// Robust-aggregation policy. The default (weighted mean, no anomaly gate)
+/// reproduces the original aggregation path bit-for-bit.
+struct RobustAggregationConfig {
+  RobustAggregatorKind kind = RobustAggregatorKind::kWeightedMean;
+  /// kTrimmedMean: fraction of candidates removed from *each* tail per
+  /// coordinate (floor(trim_fraction · n) values a side).
+  double trim_fraction = 0.2;
+  /// kKrum: assumed Byzantine count f — each candidate is scored by the sum
+  /// of squared distances to its n-f-2 nearest co-updates. 0 derives n/4.
+  std::int64_t krum_assumed_byzantine = 0;
+  /// Anomaly-score quarantine: updates scoring above this are rejected
+  /// before aggregation, under any `kind`. Scores are scale-free distance
+  /// ratios (a conforming update scores ~1, a sign-flipped one far more);
+  /// 0 disables the gate. Useful range ~3–8.
+  double anomaly_threshold = 0.0;
+
+  bool active() const {
+    return kind != RobustAggregatorKind::kWeightedMean ||
+           anomaly_threshold > 0.0;
+  }
+};
+
+/// What one aggregation call decided about its inputs.
+struct AggregationOutcome {
+  bool applied = false;  // at least one surviving update touched the cloud
+  /// Indices into `updates` quarantined by validate_update.
+  std::vector<std::size_t> invalid;
+  /// Indices rejected by the anomaly-score gate (robust quarantine).
+  std::vector<std::size_t> robust_rejected;
+  /// Per-update anomaly score, parallel to `updates`. 0 when scoring was
+  /// inactive, the update was invalid, or it had too few co-updates on
+  /// every payload to be judged (outliers need a majority to stand out of).
+  std::vector<double> anomaly_scores;
+};
 
 /// Validates `up` against `cloud`'s architecture: layer counts, per-module
 /// and shared state sizes vs. the spec, finiteness of every parameter, and
@@ -71,6 +126,20 @@ void aggregate_module_wise(
     ModularModel& cloud, const std::vector<EdgeUpdate>& updates,
     AggregationWeighting weighting = AggregationWeighting::kImportance,
     float server_mix = 1.0f);
+
+/// Robust variant: same contract as `aggregate_module_wise`, with the
+/// per-module statistic chosen by `robust.kind` and an optional pre-pass
+/// that scores every valid update for anomaly (scale-free distance to the
+/// coordinate-wise median of its co-updates) and rejects those above
+/// `robust.anomaly_threshold`. With the default config this *is* the
+/// function above — same float operations in the same order. The median /
+/// trimmed-mean / Krum statistics ignore importance weights (a robust
+/// statistic an attacker can re-weight isn't robust); shared components use
+/// the same statistic over all surviving updates.
+AggregationOutcome aggregate_module_wise_robust(
+    ModularModel& cloud, const std::vector<EdgeUpdate>& updates,
+    AggregationWeighting weighting, float server_mix,
+    const RobustAggregationConfig& robust);
 
 /// Builds the upload for a trained sub-model (copies its states out).
 EdgeUpdate make_edge_update(ModularModel& submodel,

@@ -36,6 +36,11 @@ void emit_round_event(const RoundReport& rep) {
   w.key("dropped").int_array(rep.dropped);
   w.key("straggled").int_array(rep.straggled);
   w.key("rejected").int_array(rep.rejected);
+  w.key("probation").int_array(rep.probation);
+  w.key("rejected_structural").value(rep.rejected_structural);
+  w.key("rejected_norm").value(rep.rejected_norm);
+  w.key("rejected_robust").value(rep.rejected_robust);
+  w.key("robust_scores").number_array(rep.robust_scores);
   w.key("staleness_weights").number_array(rep.staleness_weights);
   w.key("transfer_retries").value(rep.transfer_retries);
   w.key("goodput_bytes").value(rep.goodput_bytes);
@@ -103,6 +108,7 @@ NebulaSystem::NebulaSystem(ZooModel cloud, EdgePopulation& pop,
   edge_states_.resize(profiles_.size());
   selector_cached_.assign(profiles_.size(), 0);
   adapt_counts_.assign(profiles_.size(), 0);
+  probation_clean_.assign(profiles_.size(), -1);
   for (const auto& p : profiles_) {
     cap_max_ = std::max(cap_max_, p.mem_capacity_mb);
   }
@@ -256,6 +262,23 @@ void NebulaSystem::apply_corruption(EdgeUpdate& up, CorruptionKind kind,
   }
 }
 
+void NebulaSystem::apply_byzantine(EdgeUpdate& up,
+                                   std::int64_t round_idx) const {
+  const FaultConfig& fc = faults_->config();
+  for (std::size_t l = 0; l < up.spec.modules.size(); ++l) {
+    for (std::size_t j = 0; j < up.spec.modules[l].size(); ++j) {
+      // Coordinate identifies the payload (layer, global id) so colluders
+      // rewriting the same module derive the same key.
+      const std::int64_t coord =
+          static_cast<std::int64_t>(l) * 0x10000 + up.spec.modules[l][j];
+      apply_byzantine_payload(up.module_states[l][j], fc,
+                              faults_->collusion_key(round_idx, coord));
+    }
+  }
+  apply_byzantine_payload(up.shared_state, fc,
+                          faults_->collusion_key(round_idx, /*coord=*/-1));
+}
+
 void NebulaSystem::run_round_device(std::int64_t round_idx,
                                     DeviceRoundSlot& slot) {
   const FaultPolicy& policy = cfg_.fault_policy;
@@ -264,6 +287,10 @@ void NebulaSystem::run_round_device(std::int64_t round_idx,
       faults_ ? faults_->device_fate(round_idx, k) : DeviceFate{};
   if (fate.dropped) {  // never checked in
     slot.outcome = DeviceRoundSlot::Outcome::kDropped;
+    return;
+  }
+  if (faults_ && faults_->regional_outage(round_idx, profile(k).region)) {
+    slot.outcome = DeviceRoundSlot::Outcome::kDropped;  // region down
     return;
   }
 
@@ -318,6 +345,11 @@ void NebulaSystem::run_round_device(std::int64_t round_idx,
     slot.outcome = DeviceRoundSlot::Outcome::kDropped;
     return;
   }
+  // A Byzantine device trains honestly (its resident model stays useful to
+  // it) but rewrites the upload; channel corruption may still hit on top.
+  if (faults_ && faults_->is_byzantine(k)) {
+    apply_byzantine(up, round_idx);
+  }
   if (fate.corruption != CorruptionKind::kNone) {
     Rng crng = faults_->payload_rng(round_idx, k);
     apply_corruption(up, fate.corruption, crng);
@@ -329,7 +361,12 @@ void NebulaSystem::run_round_device(std::int64_t round_idx,
   }
   slot.ledger.record_upload(up.payload_bytes());
 
-  if (policy.round_deadline_s > 0.0 && slot.wall_s > policy.round_deadline_s) {
+  // The server judges the deadline on what the device *reports*: a skewed
+  // clock can make an on-time device look late (or a late one on time). The
+  // true wall time still drives the round-duration estimate.
+  const double reported_s =
+      slot.wall_s + (faults_ ? faults_->clock_skew(round_idx, k) : 0.0);
+  if (policy.round_deadline_s > 0.0 && reported_s > policy.round_deadline_s) {
     slot.straggled = true;
     if (policy.staleness_factor <= 0.0f) {
       // Discarded update: the report's contract records weight 0 (not the
@@ -402,10 +439,12 @@ RoundReport NebulaSystem::round() {
   // slot was computed by the same per-device code path and is folded in
   // participant order here (float accumulation order included).
   std::vector<EdgeUpdate> updates;
+  std::vector<std::int64_t> update_devices;  // parallel to `updates`
   double round_wall_s = 0.0;
   bool straggler_cut = false;
   double entropy_sum = 0.0, imbalance_sum = 0.0;
   std::int64_t routing_samples = 0;
+  const bool probation_on = policy.probation_clean_rounds > 0;
   for (auto& slot : slots) {
     if (slot.error) std::rethrow_exception(slot.error);
     const std::int64_t k = slot.device;
@@ -432,12 +471,30 @@ RoundReport NebulaSystem::round() {
         break;
       case DeviceRoundSlot::Outcome::kRejected:
         rep.rejected.push_back(k);  // quarantined, never touches the cloud
+        if (verdict_is_structural(slot.verdict)) {
+          ++rep.rejected_structural;
+        } else {
+          ++rep.rejected_norm;
+        }
         emit_quarantine_event(round_idx, k, slot.verdict);
+        // A fresh offense (re)starts the clean-round count from zero.
+        if (probation_on) {
+          probation_clean_[static_cast<std::size_t>(k)] = 0;
+        }
         break;
       case DeviceRoundSlot::Outcome::kCompleted:
-        rep.completed.push_back(k);
         round_wall_s = std::max(round_wall_s, slot.wall_s);
-        updates.push_back(std::move(slot.update));
+        if (probation_on && is_quarantined(k)) {
+          // Clean round while quarantined: credit it, withhold the update.
+          rep.probation.push_back(k);
+          auto& clean = probation_clean_[static_cast<std::size_t>(k)];
+          if (++clean >= policy.probation_clean_rounds) {
+            clean = -1;  // readmitted from the next round on
+          }
+        } else {
+          updates.push_back(std::move(slot.update));
+          update_devices.push_back(k);
+        }
         break;
     }
   }
@@ -447,12 +504,36 @@ RoundReport NebulaSystem::round() {
   if (static_cast<std::int64_t>(updates.size()) >=
           std::max<std::int64_t>(1, policy.min_quorum)) {
     obs::WallTimer aggregate_timer;
+    AggregationOutcome out;
     {
       NEBULA_SPAN("round.aggregate");
-      aggregate_module_wise(*cloud_, updates, cfg_.weighting);
+      out = aggregate_module_wise_robust(*cloud_, updates, cfg_.weighting,
+                                         /*server_mix=*/1.0f, policy.robust);
     }
     rep.host_phases.aggregate_s += aggregate_timer.elapsed_s();
-    rep.aggregated = true;
+    // Every update here already passed validate_update in its device leg.
+    NEBULA_CHECK_MSG(out.invalid.empty(),
+                     "validated update re-rejected at aggregation");
+    rep.aggregated = out.applied;
+    std::vector<char> robust_rejected(updates.size(), 0);
+    for (std::size_t idx : out.robust_rejected) {
+      robust_rejected[idx] = 1;
+      const std::int64_t k = update_devices[idx];
+      rep.rejected.push_back(k);
+      ++rep.rejected_robust;
+      emit_quarantine_event(round_idx, k, UpdateVerdict::kRobustOutlier);
+      if (probation_on) {
+        probation_clean_[static_cast<std::size_t>(k)] = 0;
+      }
+    }
+    for (std::size_t i = 0; i < update_devices.size(); ++i) {
+      if (!robust_rejected[i]) rep.completed.push_back(update_devices[i]);
+    }
+    if (policy.robust.active()) rep.robust_scores = out.anomaly_scores;
+  } else {
+    // Below quorum nothing was aggregated (or robust-scored); the devices
+    // that delivered clean updates still count as completed.
+    rep.completed = update_devices;
   }
   rep.goodput_bytes = ledger_.total_bytes() - goodput0;
   rep.overhead_bytes = ledger_.overhead_bytes() - overhead0;
@@ -474,12 +555,19 @@ RoundReport NebulaSystem::round() {
   static obs::Counter& m_completed = obs::counter("round.completed");
   static obs::Counter& m_dropped = obs::counter("round.dropped");
   static obs::Counter& m_rejected = obs::counter("round.rejected");
+  static obs::Counter& m_probation = obs::counter("round.probation");
   static obs::Counter& m_retries = obs::counter("round.transfer_retries");
   m_rounds.add(1);
   m_completed.add(static_cast<std::int64_t>(rep.completed.size()));
   m_dropped.add(static_cast<std::int64_t>(rep.dropped.size()));
   m_rejected.add(static_cast<std::int64_t>(rep.rejected.size()));
+  m_probation.add(static_cast<std::int64_t>(rep.probation.size()));
   m_retries.add(rep.transfer_retries);
+  if (!rep.robust_scores.empty()) {
+    double score_max = 0.0;
+    for (double s : rep.robust_scores) score_max = std::max(score_max, s);
+    obs::gauge("round.robust_score_max").set(score_max);
+  }
   static obs::Gauge& m_entropy = obs::gauge("round.routing_entropy");
   static obs::Gauge& m_imbalance = obs::gauge("round.routing_imbalance");
   m_entropy.set(rep.routing_entropy);

@@ -54,6 +54,16 @@ struct FaultPolicy {
   /// RMS bound for server-side update validation (0 disables the norm
   /// check; shape and finiteness checks are always on).
   double norm_bound_rms = 1e3;
+  /// Robust aggregation policy for full rounds (DESIGN.md §13): which
+  /// statistic folds co-updates and whether anomaly scores quarantine
+  /// updates before aggregation. The default is the paper's weighted mean
+  /// and is bit-identical to the pre-robust protocol.
+  RobustAggregationConfig robust;
+  /// Quarantine probation: a rejected device keeps participating but its
+  /// updates are withheld until it validates cleanly this many consecutive
+  /// rounds, after which it is readmitted. 0 keeps the legacy behaviour
+  /// (rejection is per-round only, no quarantine state).
+  int probation_clean_rounds = 0;
 };
 
 /// Host wall-clock seconds spent in each phase of one round (measured on the
@@ -77,6 +87,20 @@ struct RoundReport {
   std::vector<std::int64_t> dropped;       // dropout, crash, or dead link
   std::vector<std::int64_t> straggled;     // estimate exceeded the deadline
   std::vector<std::int64_t> rejected;      // quarantined by validation
+  /// Quarantined devices on probation this round: they participated and
+  /// validated, but their updates were withheld from aggregation while they
+  /// re-earn trust (FaultPolicy::probation_clean_rounds).
+  std::vector<std::int64_t> probation;
+  /// Per-reason split of `rejected`: structural verdicts (shape/sample-count
+  /// lies), norm verdicts (non-finite / out-of-bound payloads), and
+  /// robust-score rejections at aggregation time. Sums to rejected.size().
+  std::int64_t rejected_structural = 0;
+  std::int64_t rejected_norm = 0;
+  std::int64_t rejected_robust = 0;
+  /// Anomaly scores of the updates that reached aggregation (completed +
+  /// robust-rejected devices, in participant order). Empty when the quorum
+  /// was unmet or robust aggregation is inactive.
+  std::vector<double> robust_scores;
   std::int64_t transfer_retries = 0;       // failed attempts that were retried
   /// Staleness weight applied to each straggler that was kept (parallel to
   /// `straggled`; 0 when the update was discarded).
@@ -219,6 +243,18 @@ class NebulaSystem {
   void clear_faults() { faults_.reset(); }
   const FaultInjector* faults() const { return faults_.get(); }
 
+  /// Whether device k is currently quarantined (on probation — its updates
+  /// are withheld from aggregation until it re-earns trust).
+  bool is_quarantined(std::int64_t k) const {
+    return probation_clean_.at(static_cast<std::size_t>(k)) >= 0;
+  }
+  /// Forces device k into quarantine (test/operator hook; rounds put
+  /// devices there automatically when probation is enabled and a device's
+  /// update is rejected).
+  void quarantine_device(std::int64_t k) {
+    probation_clean_.at(static_cast<std::size_t>(k)) = 0;
+  }
+
   /// Bytes to download a sub-model for device k: modules + shared state,
   /// plus the (immutable) unified selector if this device has never
   /// successfully fetched anything — devices cache the selector, it never
@@ -295,6 +331,10 @@ class NebulaSystem {
                         std::int64_t transfer_idx, std::int64_t bytes,
                         const DeviceFate& fate, DeviceRoundSlot& slot);
   void apply_corruption(EdgeUpdate& up, CorruptionKind kind, Rng& rng) const;
+  /// Rewrites a Byzantine device's upload in place (sign-flip / scale /
+  /// colluding same-direction, per the injector's config). Colluders derive
+  /// identical per-payload collusion keys, so their junk agrees exactly.
+  void apply_byzantine(EdgeUpdate& up, std::int64_t round_idx) const;
 
   std::unique_ptr<ModularModel> cloud_;
   std::unique_ptr<ModuleSelector> selector_;
@@ -315,6 +355,11 @@ class NebulaSystem {
   double cap_max_ = 1.0;
   std::unique_ptr<FaultInjector> faults_;
   std::int64_t round_index_ = 0;
+  /// Quarantine state per device: -1 = trusted, >= 0 = quarantined with that
+  /// many consecutive clean validations so far. Only mutated in the serial
+  /// merge of round() (and the quarantine_device hook), never in the
+  /// parallel region.
+  std::vector<std::int64_t> probation_clean_;
 };
 
 }  // namespace nebula

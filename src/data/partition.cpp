@@ -9,6 +9,8 @@ EdgePopulation::EdgePopulation(const SyntheticGenerator& gen,
     : gen_(gen), cfg_(cfg), rng_(cfg.seed) {
   NEBULA_CHECK(cfg_.num_devices > 0);
   NEBULA_CHECK(cfg_.min_samples > 0 && cfg_.max_samples >= cfg_.min_samples);
+  NEBULA_CHECK(cfg_.churn_prob >= 0.0f && cfg_.churn_prob <= 1.0f);
+  NEBULA_CHECK(cfg_.drift_rate >= 0.0f && cfg_.drift_rate <= 1.0f);
   const auto& spec = gen_.spec();
 
   if (cfg_.classes_per_device > 0) {
@@ -194,6 +196,63 @@ bool EdgePopulation::shift(std::int64_t device) {
 
 void EdgePopulation::shift_all() {
   for (std::int64_t k = 0; k < cfg_.num_devices; ++k) shift(k);
+}
+
+void EdgePopulation::set_dynamics(float drift_rate, float churn_prob) {
+  NEBULA_CHECK(drift_rate >= 0.0f && drift_rate <= 1.0f);
+  NEBULA_CHECK(churn_prob >= 0.0f && churn_prob <= 1.0f);
+  cfg_.drift_rate = drift_rate;
+  cfg_.churn_prob = churn_prob;
+}
+
+void EdgePopulation::drift_device(std::int64_t device) {
+  // Class-mixture drift: replace `drift_rate` of the local data with samples
+  // biased toward one *preferred* slice that rotates with the step counter,
+  // so every device's mixture slews over rounds instead of staying fixed.
+  DeviceTask biased = tasks_[static_cast<std::size_t>(device)];
+  if (cfg_.classes_per_device > 0 && !biased.classes.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(
+        (step_ + device) % static_cast<std::int64_t>(biased.classes.size()));
+    biased.classes = {biased.classes[pick]};
+  } else {
+    const std::int64_t pool = gen_.spec().clusters_per_class;
+    if (pool > 1) biased.cluster_view = {(step_ + device) % pool};
+  }
+  Dataset& local = local_data_[static_cast<std::size_t>(device)];
+  const std::int64_t n = local.size();
+  const std::int64_t n_new = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             static_cast<float>(n) * cfg_.drift_rate));
+  auto keep = rng_.choose(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(n - n_new));
+  Dataset next = local.subset(keep);
+  next.append(draw_task_data(biased, n_new));
+  local = std::move(next);
+}
+
+std::int64_t EdgePopulation::environment_step() {
+  ++step_;
+  if (cfg_.churn_prob <= 0.0f && cfg_.drift_rate <= 0.0f) return 0;
+  std::int64_t churned = 0;
+  for (std::int64_t k = 0; k < cfg_.num_devices; ++k) {
+    // Short-circuit keeps each knob draw-free at zero, so enabling one
+    // never perturbs the stream the other would have used.
+    if (cfg_.churn_prob > 0.0f && rng_.uniform() < cfg_.churn_prob) {
+      assign_task(k, static_cast<std::int64_t>(rng_.uniform_int(
+                         static_cast<std::uint64_t>(num_contexts_))));
+      const std::int64_t n =
+          cfg_.min_samples +
+          static_cast<std::int64_t>(
+              rng_.uniform_int(static_cast<std::uint64_t>(
+                  cfg_.max_samples - cfg_.min_samples + 1)));
+      local_data_[static_cast<std::size_t>(k)] =
+          draw_task_data(tasks_[static_cast<std::size_t>(k)], n);
+      ++churned;
+    } else if (cfg_.drift_rate > 0.0f) {
+      drift_device(k);
+    }
+  }
+  return churned;
 }
 
 }  // namespace nebula

@@ -40,6 +40,14 @@ struct PartitionConfig {
   /// If true, devices start out in historical viewing conditions (clusters
   /// the proxy data covers) and only drift into new appearances via shifts.
   bool initial_views_from_proxy = false;
+  /// Round-varying dynamics (see environment_step): per-step probability a
+  /// device churns (leaves and is replaced by a fresh one with a new task
+  /// and new data), and the fraction of local data replaced per step by
+  /// samples biased toward a rotating preferred class / appearance cluster
+  /// (class-mixture drift). Both default off; environment_step is then a
+  /// draw-free no-op, keeping existing simulations bit-identical.
+  float churn_prob = 0.0f;
+  float drift_rate = 0.0f;
   std::uint64_t seed = 1234;
 };
 
@@ -109,10 +117,27 @@ class EdgePopulation {
   /// Applies `shift` to every device.
   void shift_all();
 
+  /// Enables (or re-tunes) round-varying dynamics after construction.
+  void set_dynamics(float drift_rate, float churn_prob);
+
+  /// Advances the dynamic environment by one step (call once per federated
+  /// round): each device either churns — replaced by a fresh device with a
+  /// new task and new local data — with probability `churn_prob`, or, when
+  /// `drift_rate` > 0, has that fraction of its local data replaced by
+  /// samples biased toward a step-rotating preferred class (label skew) or
+  /// appearance cluster (feature skew), slewing its class mixture over
+  /// rounds. Returns the number of churned devices. With both knobs at zero
+  /// this makes no RNG draws and changes no data.
+  std::int64_t environment_step();
+
+  /// Environment steps taken so far.
+  std::int64_t step() const { return step_; }
+
  private:
   Dataset draw_task_data(const DeviceTask& task, std::int64_t n);
   void assign_task(std::int64_t device, std::int64_t context);
   void assign_view(std::int64_t device);
+  void drift_device(std::int64_t device);
 
   const SyntheticGenerator& gen_;
   PartitionConfig cfg_;
@@ -121,6 +146,7 @@ class EdgePopulation {
   std::vector<DeviceTask> tasks_;
   std::vector<Dataset> local_data_;
   bool initial_ = false;
+  std::int64_t step_ = 0;
   Rng rng_;
 };
 

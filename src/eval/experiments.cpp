@@ -390,6 +390,156 @@ FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
   return res;
 }
 
+namespace {
+
+/// Shared eval epilogue: serial test draws, parallel pure evals, means.
+void eval_pair(EdgePopulation& pop, const BenchScale& scale, FedAvg& fa,
+               NebulaSystem& sys, double& fedavg_acc, double& nebula_acc) {
+  const std::int64_t eval_n =
+      std::min<std::int64_t>(scale.eval_devices, pop.num_devices());
+  std::vector<Dataset> tests;
+  tests.reserve(static_cast<std::size_t>(eval_n));
+  for (std::int64_t k = 0; k < eval_n; ++k) {
+    tests.push_back(pop.device_test(k, scale.test_samples));
+  }
+  struct EvalSlot {
+    double fedavg = 0.0, nebula = 0.0;
+    std::exception_ptr error;
+  };
+  std::vector<EvalSlot> eval_slots(tests.size());
+  ThreadPool::global().parallel_for(
+      0, tests.size(),
+      [&](std::size_t i) {
+        EvalSlot& s = eval_slots[i];
+        try {
+          s.fedavg = fa.eval_on(tests[i]);
+          s.nebula =
+              sys.eval_derived_on(static_cast<std::int64_t>(i), tests[i]);
+        } catch (...) {
+          s.error = std::current_exception();
+        }
+      },
+      /*grain=*/1);
+  fedavg_acc = 0.0;
+  nebula_acc = 0.0;
+  for (const EvalSlot& s : eval_slots) {
+    if (s.error) std::rethrow_exception(s.error);
+    fedavg_acc += s.fedavg;
+    nebula_acc += s.nebula;
+  }
+  const double inv = 1.0 / static_cast<double>(eval_n);
+  fedavg_acc *= inv;
+  nebula_acc *= inv;
+}
+
+}  // namespace
+
+ByzantineSweepResult run_byzantine_comparison(
+    TaskEnv& env, const BenchScale& scale, const FaultConfig& faults,
+    const RobustAggregationConfig& robust, std::uint64_t seed) {
+  NEBULA_SPAN("experiment.byzantine");
+  obs::WallTimer wall;
+  EdgePopulation& pop = *env.population;
+  TrainConfig pre;
+  pre.epochs = scale.pretrain_epochs;
+  pre.lr = env.spec.pretrain_lr;
+
+  init::reseed(seed + 41);
+  FedAvgConfig fc;
+  fc.devices_per_round = scale.devices_per_round;
+  fc.seed = seed + 42;
+  FedAvg fa(env.plain(), pop, fc);
+  fa.pretrain(env.proxy.data, pre);
+
+  ZooOptions zo;
+  zo.init_seed = seed + 43;
+  NebulaConfig nc;
+  nc.devices_per_round = scale.devices_per_round;
+  nc.pretrain.epochs = scale.pretrain_epochs;
+  nc.pretrain.lr = env.spec.pretrain_lr;
+  nc.ability.finetune.lr = env.spec.pretrain_lr;
+  nc.seed = seed + 44;
+  nc.fault_policy.robust = robust;
+  NebulaSystem sys(env.modular(zo), pop, env.profiles, nc);
+  sys.offline(env.proxy);
+
+  // Identical adversary schedule for both systems — FedAvg just has no
+  // defense against it.
+  FaultInjector fedavg_faults(faults);
+  fa.set_fault_injector(&fedavg_faults);
+  sys.inject_faults(faults);
+
+  ByzantineSweepResult res;
+  const std::int64_t rounds = 2 * scale.warm_rounds;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    fa.round();
+    RoundReport rep = sys.round();
+    res.robust_rejected += rep.rejected_robust;
+    res.updates_rejected += static_cast<std::int64_t>(rep.rejected.size());
+    res.round_reports.push_back(std::move(rep));
+  }
+
+  eval_pair(pop, scale, fa, sys, res.fedavg_acc, res.nebula_acc);
+  res.nebula_finite = model_state_finite(sys.cloud());
+  for (float x : get_state(fa.global())) {
+    if (!std::isfinite(x)) {
+      res.fedavg_finite = false;
+      break;
+    }
+  }
+  obs::gauge("experiment.byzantine." + metric_token(env.spec.dataset_name) +
+             "." + metric_token(env.spec.partition_name) + "." +
+             robust_aggregator_name(robust.kind) + ".wall_s")
+      .set(wall.elapsed_s());
+  return res;
+}
+
+DriftSweepResult run_drift_comparison(TaskEnv& env, const BenchScale& scale,
+                                      float drift_rate, float churn_prob,
+                                      std::uint64_t seed) {
+  NEBULA_SPAN("experiment.drift");
+  obs::WallTimer wall;
+  EdgePopulation& pop = *env.population;
+  TrainConfig pre;
+  pre.epochs = scale.pretrain_epochs;
+  pre.lr = env.spec.pretrain_lr;
+
+  init::reseed(seed + 41);
+  FedAvgConfig fc;
+  fc.devices_per_round = scale.devices_per_round;
+  fc.seed = seed + 42;
+  FedAvg fa(env.plain(), pop, fc);
+  fa.pretrain(env.proxy.data, pre);
+
+  ZooOptions zo;
+  zo.init_seed = seed + 43;
+  NebulaConfig nc;
+  nc.devices_per_round = scale.devices_per_round;
+  nc.pretrain.epochs = scale.pretrain_epochs;
+  nc.pretrain.lr = env.spec.pretrain_lr;
+  nc.ability.finetune.lr = env.spec.pretrain_lr;
+  nc.seed = seed + 44;
+  NebulaSystem sys(env.modular(zo), pop, env.profiles, nc);
+  sys.offline(env.proxy);
+
+  pop.set_dynamics(drift_rate, churn_prob);
+  DriftSweepResult res;
+  const std::int64_t rounds = 2 * scale.warm_rounds;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    // The environment moves between rounds: mixtures drift, devices churn.
+    res.churned_devices += pop.environment_step();
+    fa.round();
+    RoundReport rep = sys.round();
+    res.round_reports.push_back(std::move(rep));
+  }
+
+  eval_pair(pop, scale, fa, sys, res.fedavg_acc, res.nebula_acc);
+  obs::gauge("experiment.drift." + metric_token(env.spec.dataset_name) + "." +
+             metric_token(env.spec.partition_name) + ".wall_s")
+      .set(wall.elapsed_s());
+  return res;
+}
+
 double mean_of(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double s = 0.0;

@@ -116,6 +116,42 @@ FaultSweepResult run_fault_comparison(TaskEnv& env, const BenchScale& scale,
                                       const FaultConfig& faults,
                                       std::uint64_t seed);
 
+/// One cell of the Byzantine grid (`bench_fig_byzantine`): Nebula with a
+/// chosen robust-aggregation policy vs undefended FedAvg, both facing the
+/// same seeded adversaries. Run a zero-fraction cell for the clean
+/// reference.
+struct ByzantineSweepResult {
+  double nebula_acc = 0.0;
+  double fedavg_acc = 0.0;
+  bool nebula_finite = true;
+  bool fedavg_finite = true;
+  std::int64_t robust_rejected = 0;   // anomaly-gate rejections (all rounds)
+  std::int64_t updates_rejected = 0;  // total quarantined (all reasons)
+  std::vector<RoundReport> round_reports;
+};
+
+/// Pretrains both systems, attaches the same fault schedule (set
+/// `faults.byzantine_fraction` / `kind`, and `faults.num_devices` for an
+/// exact attacker count), installs `robust` as Nebula's aggregation policy,
+/// runs 2 x warm_rounds and evaluates mean device accuracy.
+ByzantineSweepResult run_byzantine_comparison(
+    TaskEnv& env, const BenchScale& scale, const FaultConfig& faults,
+    const RobustAggregationConfig& robust, std::uint64_t seed);
+
+/// One cell of the dynamic-environment grid (`bench_fig_drift`): class-
+/// mixture drift + device churn advance the population every round while
+/// Nebula and FedAvg adapt.
+struct DriftSweepResult {
+  double nebula_acc = 0.0;
+  double fedavg_acc = 0.0;
+  std::int64_t churned_devices = 0;  // total churn events over the run
+  std::vector<RoundReport> round_reports;
+};
+
+DriftSweepResult run_drift_comparison(TaskEnv& env, const BenchScale& scale,
+                                      float drift_rate, float churn_prob,
+                                      std::uint64_t seed);
+
 /// True when every parameter of the modular model (shared + all modules) is
 /// finite — the invariant the quarantine must preserve.
 bool model_state_finite(ModularModel& model);

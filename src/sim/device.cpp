@@ -78,6 +78,14 @@ std::vector<std::size_t> assign_tiers_by_capacity(
   return tier;
 }
 
+void assign_regions(std::vector<DeviceProfile>& fleet,
+                    std::int64_t num_regions) {
+  NEBULA_CHECK(num_regions > 0);
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    fleet[k].region = static_cast<std::int64_t>(k) % num_regions;
+  }
+}
+
 std::vector<DeviceProfile> ProfileSampler::sample_fleet(
     std::int64_t n, double mobile_fraction) {
   NEBULA_CHECK(n > 0 && mobile_fraction >= 0.0 && mobile_fraction <= 1.0);

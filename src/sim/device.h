@@ -25,6 +25,9 @@ struct DeviceProfile {
   double flops_per_sec = 50e9;       // effective sustained compute
   double bandwidth_mbps = 100.0;     // uplink/downlink to the cloud
   bool has_gpu = false;
+  /// Deployment region (cell tower / site). Correlated outages take down
+  /// every device sharing a region at once (FaultConfig::regional_outage_prob).
+  std::int64_t region = 0;
 
   /// The paper's Jetson Nano: 4 GB, on-device GPU (effective ~40 GFLOP/s
   /// sustained for small-batch training), WiFi.
@@ -58,6 +61,12 @@ class ProfileSampler {
 /// (HeteroFL, AdaptiveNet-like) to map resources onto model sizes.
 std::vector<std::size_t> assign_tiers_by_capacity(
     const std::vector<DeviceProfile>& profiles, std::size_t num_tiers);
+
+/// Tags each device with a region in round-robin order (device k gets
+/// k mod num_regions). Deterministic and draw-free, so adding regions to an
+/// existing fleet changes nothing else about a simulation.
+void assign_regions(std::vector<DeviceProfile>& fleet,
+                    std::int64_t num_regions);
 
 /// Tracks co-running processes on a device and converts them into a latency
 /// multiplier. Calibrated to the paper's Figure 1(b): three background

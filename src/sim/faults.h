@@ -27,6 +27,18 @@ enum class CorruptionKind {
 
 const char* corruption_kind_name(CorruptionKind k);
 
+/// How a Byzantine device rewrites its (otherwise honestly trained) upload.
+/// All three survive `validate_update`'s norm bound when scaled modestly —
+/// a sign-flip preserves RMS exactly — which is what motivates robust
+/// aggregation on the server side.
+enum class ByzantineKind {
+  kSignFlip,       // upload -x instead of x
+  kScaled,         // upload byzantine_scale · x
+  kSameDirection,  // colluders all upload the same pseudo-random direction
+};
+
+const char* byzantine_kind_name(ByzantineKind k);
+
 /// Probabilities and magnitudes of the modelled fault classes. All default
 /// to "no faults"; any_faults() gates the whole layer.
 struct FaultConfig {
@@ -51,12 +63,32 @@ struct FaultConfig {
   // (d) Payload corruption of uploads (kind chosen uniformly at random).
   double corruption_prob = 0.0;
 
+  // (e) Byzantine adversaries: a persistent subset of the fleet rewrites its
+  // uploads every round. Membership is drawn per device from a round-
+  // independent stream — or, when `num_devices` > 0, exactly
+  // round(byzantine_fraction · num_devices) devices are chosen by seeded
+  // ranking, so small fleets hit the nominal fraction exactly.
+  double byzantine_fraction = 0.0;
+  ByzantineKind byzantine_kind = ByzantineKind::kSignFlip;
+  double byzantine_scale = 10.0;  // kScaled magnitude / kSameDirection RMS
+  std::int64_t num_devices = 0;   // 0 = per-device probability draw
+
+  // (f) Correlated regional outages: each (round, region) pair fails as a
+  // unit with this probability — every device tagged with that region drops.
+  double regional_outage_prob = 0.0;
+
+  // (g) Clock skew: a device's *reported* completion time differs from its
+  // true wall time by a uniform draw in [-clock_skew_s, +clock_skew_s],
+  // perturbing the server's deadline/staleness decisions.
+  double clock_skew_s = 0.0;
+
   std::uint64_t seed = 0xFA17;
 
   bool any_faults() const {
     return dropout_prob > 0.0 || crash_prob > 0.0 || straggler_prob > 0.0 ||
            transfer_failure_prob > 0.0 || degraded_link_prob > 0.0 ||
-           corruption_prob > 0.0;
+           corruption_prob > 0.0 || byzantine_fraction > 0.0 ||
+           regional_outage_prob > 0.0 || clock_skew_s > 0.0;
   }
 
   void validate() const;
@@ -97,11 +129,39 @@ class FaultInjector {
   static void corrupt_payload(std::vector<float>& payload, CorruptionKind kind,
                               Rng& rng);
 
+  /// Whether `device` is a (persistent, round-independent) Byzantine
+  /// attacker. False whenever `byzantine_fraction` is zero — no draw made.
+  bool is_byzantine(std::int64_t device) const;
+
+  /// Collusion key for colluding attackers: all devices rewriting the same
+  /// payload (`coord` identifies it — e.g. l·0x10000+gid for a module, -1
+  /// for the shared/flat state) in the same round derive the same key, so
+  /// kSameDirection colluders upload byte-identical junk.
+  std::uint64_t collusion_key(std::int64_t round, std::int64_t coord) const;
+
+  /// Whether the whole of `region` is down in `round` (correlated outage).
+  bool regional_outage(std::int64_t round, std::int64_t region) const;
+
+  /// The device's clock error (seconds, in [-clock_skew_s, +clock_skew_s])
+  /// for this round. 0 whenever `clock_skew_s` is zero — no draw made.
+  double clock_skew(std::int64_t round, std::int64_t device) const;
+
  private:
   Rng stream(std::int64_t round, std::int64_t device,
              std::uint64_t salt) const;
 
   FaultConfig cfg_;
+  /// Exact-count Byzantine membership (cfg_.num_devices > 0): device k is an
+  /// attacker iff byzantine_mask_[k]. Empty in per-probability mode.
+  std::vector<char> byzantine_mask_;
 };
+
+/// Rewrites a flat payload according to `cfg.byzantine_kind`. Deterministic:
+/// kSignFlip/kScaled depend only on the payload; kSameDirection fills it with
+/// a pseudo-random direction derived from `collusion_key`, so every colluder
+/// handed the same key uploads byte-identical values (RMS ≈ byzantine_scale).
+void apply_byzantine_payload(std::vector<float>& payload,
+                             const FaultConfig& cfg,
+                             std::uint64_t collusion_key);
 
 }  // namespace nebula

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/nebula.h"
 #include "eval/experiments.h"
@@ -136,6 +137,67 @@ TEST(FaultInjector, ConfigValidation) {
   bad = FaultConfig{};
   bad.degraded_bandwidth_factor = 0.0;
   EXPECT_THROW(FaultInjector{bad}, std::runtime_error);
+}
+
+TEST(FaultInjector, ConfigValidationRejectsNaNAndInfinities) {
+  // NaN compares false against any range bound, so naive `p < 0 || p > 1`
+  // checks silently accept it — validate() must reject non-finite values in
+  // every probability and magnitude field.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  auto expect_rejected = [](FaultConfig bad, const char* what) {
+    EXPECT_THROW(FaultInjector{bad}, std::runtime_error) << what;
+  };
+
+  FaultConfig c;
+  c.dropout_prob = nan;
+  expect_rejected(c, "NaN dropout_prob");
+  c = FaultConfig{};
+  c.crash_prob = -0.1;
+  expect_rejected(c, "negative crash_prob");
+  c = FaultConfig{};
+  c.corruption_prob = nan;
+  expect_rejected(c, "NaN corruption_prob");
+  c = FaultConfig{};
+  c.byzantine_fraction = nan;
+  expect_rejected(c, "NaN byzantine_fraction");
+  c = FaultConfig{};
+  c.byzantine_fraction = 1.2;
+  expect_rejected(c, "byzantine_fraction > 1");
+  c = FaultConfig{};
+  c.regional_outage_prob = inf;
+  expect_rejected(c, "infinite regional_outage_prob");
+  c = FaultConfig{};
+  c.straggler_multiplier_lo = inf;
+  expect_rejected(c, "infinite straggler multiplier");
+  c = FaultConfig{};
+  c.straggler_multiplier_lo = 4.0;
+  c.straggler_multiplier_hi = 2.0;
+  expect_rejected(c, "inverted straggler bounds");
+  c = FaultConfig{};
+  c.degraded_bandwidth_factor = nan;
+  expect_rejected(c, "NaN bandwidth factor");
+  c = FaultConfig{};
+  c.degraded_bandwidth_factor = 1.5;
+  expect_rejected(c, "bandwidth factor > 1");
+  c = FaultConfig{};
+  c.byzantine_scale = 0.0;
+  expect_rejected(c, "non-positive byzantine_scale");
+  c = FaultConfig{};
+  c.byzantine_scale = nan;
+  expect_rejected(c, "NaN byzantine_scale");
+  c = FaultConfig{};
+  c.clock_skew_s = -1.0;
+  expect_rejected(c, "negative clock_skew_s");
+  c = FaultConfig{};
+  c.clock_skew_s = inf;
+  expect_rejected(c, "infinite clock_skew_s");
+  c = FaultConfig{};
+  c.num_devices = -1;
+  expect_rejected(c, "negative num_devices");
+
+  // And the all-defaults config stays valid.
+  EXPECT_NO_THROW(FaultInjector{FaultConfig{}});
 }
 
 TEST(FaultInjector, CorruptPayloadKinds) {

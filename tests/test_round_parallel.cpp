@@ -98,6 +98,11 @@ void expect_reports_identical(const RoundReport& a, const RoundReport& b) {
   EXPECT_EQ(a.dropped, b.dropped);
   EXPECT_EQ(a.straggled, b.straggled);
   EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.probation, b.probation);
+  EXPECT_EQ(a.rejected_structural, b.rejected_structural);
+  EXPECT_EQ(a.rejected_norm, b.rejected_norm);
+  EXPECT_EQ(a.rejected_robust, b.rejected_robust);
+  EXPECT_EQ(a.robust_scores, b.robust_scores);
   EXPECT_EQ(a.transfer_retries, b.transfer_retries);
   EXPECT_EQ(a.staleness_weights, b.staleness_weights);
   EXPECT_EQ(a.goodput_bytes, b.goodput_bytes);
@@ -180,6 +185,27 @@ TEST(ParallelRound, StragglerDownWeightingIsBitIdentical) {
   expect_serial_parallel_identical(cfg, nullptr);
 }
 
+TEST(ParallelRound, RobustAggregatorRoundsAreBitIdentical) {
+  // The full robustness stack at once — trimmed-mean folding, the anomaly
+  // gate, probation bookkeeping, a 30% sign-flip coalition, regional
+  // outages, clock skew and ordinary dropout — must still merge identically
+  // for any worker count (anomaly scores and probation counters are only
+  // touched in the serial merge).
+  NebulaConfig cfg;
+  cfg.fault_policy.robust.kind = RobustAggregatorKind::kTrimmedMean;
+  cfg.fault_policy.robust.anomaly_threshold = 4.0;
+  cfg.fault_policy.probation_clean_rounds = 2;
+  FaultConfig fc;
+  fc.byzantine_fraction = 0.3;
+  fc.byzantine_kind = ByzantineKind::kSignFlip;
+  fc.num_devices = 10;
+  fc.dropout_prob = 0.1;
+  fc.regional_outage_prob = 0.1;
+  fc.clock_skew_s = 0.5;
+  fc.seed = 6006;
+  expect_serial_parallel_identical(cfg, &fc, /*rounds=*/4);
+}
+
 TEST(ParallelRound, FedAvgRoundsAreBitIdentical) {
   World w1, w2;
   FedAvgConfig cfg;
@@ -246,8 +272,9 @@ TEST(ParallelRound, TrainSeedsDoNotCollideAcrossProtocolFamilies) {
   // The per-(round, device) stream families must stay disjoint: identical
   // coordinates under different salts must not yield the same seed.
   const std::uint64_t base = 123;
-  std::vector<std::uint64_t> salts = {0x01, 0x02, 0x03,
-                                      0x10, 0x11, 0x12, 0x13, 0x14, 0x15};
+  std::vector<std::uint64_t> salts = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                      0x07, 0x10, 0x11, 0x12, 0x13, 0x14,
+                                      0x15};
   for (std::size_t i = 0; i < salts.size(); ++i) {
     for (std::size_t j = i + 1; j < salts.size(); ++j) {
       EXPECT_NE(derive_stream_seed(base, 0, 0, salts[i]),

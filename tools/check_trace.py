@@ -164,7 +164,8 @@ def check_metrics(path):
 
 ROUND_KEYS = [
     "round", "participants", "completed", "dropped", "straggled", "rejected",
-    "staleness_weights", "transfer_retries", "goodput_bytes",
+    "probation", "rejected_structural", "rejected_norm", "rejected_robust",
+    "robust_scores", "staleness_weights", "transfer_retries", "goodput_bytes",
     "overhead_bytes", "attempted_bytes", "routing_entropy",
     "routing_imbalance", "phases", "wall_time_s", "aggregated",
 ]
@@ -210,14 +211,29 @@ def check_events(path):
                  f"{e['attempted_bytes']} != goodput {e['goodput_bytes']} + "
                  f"overhead {e['overhead_bytes']}")
         # Every participant lands in exactly one terminal bucket. Stragglers
-        # with weight 0 were cut by the server (not in the other lists).
+        # with weight 0 were cut by the server (not in the other lists);
+        # probation devices completed cleanly but had their update withheld.
         cut = sum(1 for w in e["staleness_weights"] if w == 0)
         terminal = (len(e["completed"]) + len(e["dropped"]) +
-                    len(e["rejected"]) + cut)
+                    len(e["rejected"]) + len(e["probation"]) + cut)
         if terminal != len(e["participants"]):
             fail(f"events: line {ln} participant accounting: "
                  f"{terminal} terminal fates for "
                  f"{len(e['participants'])} participants")
+        # The per-reason split must cover the rejected list exactly.
+        reasons = (e["rejected_structural"] + e["rejected_norm"] +
+                   e["rejected_robust"])
+        if reasons != len(e["rejected"]):
+            fail(f"events: line {ln} rejection reasons {reasons} != "
+                 f"{len(e['rejected'])} rejected devices")
+        # Robust scores (when present) cover everything that reached
+        # aggregation: completed survivors plus robust-score rejections.
+        if e["robust_scores"] and len(e["robust_scores"]) != (
+                len(e["completed"]) + e["rejected_robust"]):
+            fail(f"events: line {ln} robust_scores length "
+                 f"{len(e['robust_scores'])} != completed "
+                 f"{len(e['completed'])} + robust-rejected "
+                 f"{e['rejected_robust']}")
         if len(e["staleness_weights"]) != len(e["straggled"]):
             fail(f"events: line {ln} staleness_weights not parallel "
                  "to straggled")
