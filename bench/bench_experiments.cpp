@@ -14,6 +14,7 @@
 
 #include "eval/experiments.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 int main() {
   using namespace nebula;
@@ -68,6 +69,41 @@ int main() {
     run_drift_comparison(env, scale, /*drift_rate=*/0.5f, /*churn_prob=*/0.1f,
                          /*seed=*/10000);
   }
+
+  // Flight-recorder cost check (DESIGN.md §14): the same fault cell with the
+  // recorder off, then on. The fault cell has no recording-conditional extra
+  // work (unlike the drift cell's probe evals), so the pair isolates the
+  // recorder feed itself; it rides the serial merge phase, so the on/off
+  // ratio should stay within noise of 1.0 — the perf trajectory records it
+  // so a regression that adds recorder work to the hot path surfaces as a
+  // ratio creep.
+  std::fprintf(stderr, "figure: obs overhead (fault cell, recorder off/on)…\n");
+  double obs_off_s = 0.0, obs_on_s = 0.0;
+  FaultConfig obs_fc;
+  obs_fc.dropout_prob = 0.3;
+  obs_fc.straggler_prob = 0.1;
+  obs_fc.transfer_failure_prob = 0.05;
+  obs_fc.seed = 9400;
+  {
+    obs::recorder().set_enabled(false);
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/9300);
+    obs::WallTimer wall;
+    run_fault_comparison(env, scale, obs_fc, /*seed=*/9500);
+    obs_off_s = wall.elapsed_s();
+  }
+  {
+    obs::recorder().set_enabled(true);
+    obs::recorder().reset();
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/9300);
+    obs::WallTimer wall;
+    run_fault_comparison(env, scale, obs_fc, /*seed=*/9500);
+    obs_on_s = wall.elapsed_s();
+    obs::recorder().set_enabled(false);
+  }
+  obs::gauge("experiment.obs_overhead.off.wall_s").set(obs_off_s);
+  obs::gauge("experiment.obs_overhead.on.wall_s").set(obs_on_s);
+  obs::gauge("experiment.obs_overhead.ratio")
+      .set(obs_off_s > 0.0 ? obs_on_s / obs_off_s : 0.0);
 
   for (const auto& [name, wall_s] :
        obs::MetricsRegistry::instance().gauges_with_prefix("experiment.")) {

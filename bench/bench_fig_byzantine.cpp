@@ -19,6 +19,7 @@
 
 #include "common/table.h"
 #include "eval/experiments.h"
+#include "obs/recorder.h"
 
 int main() {
   using namespace nebula;
@@ -103,9 +104,41 @@ int main() {
   }
   kind_table.print();
 
+  // ---- Onset detection: the flight recorder timestamps the attack ------------
+  // The coalition stays dormant until mid-run; the recorder's rejection-rate
+  // and robust-score monitors should fire at (or within a round or two of)
+  // the onset round — the alert latency a fleet operator would see.
+  const std::int64_t onset = scale.warm_rounds;
+  std::printf("\n(c) attack onset at round %lld — health-monitor alerts\n",
+              static_cast<long long>(onset));
+  obs::recorder().set_enabled(true);
+  {
+    TaskEnv env = make_task_env(spec, scale, /*seed=*/8100);
+    ByzantineSweepResult r = run_byzantine_comparison(
+        env, scale, attack(ByzantineKind::kSignFlip, 0.3), trimmed, 8300,
+        /*attack_onset_round=*/onset);
+    Table alert_table({"Round", "Monitor", "Reason", "Value", "Baseline"});
+    std::int64_t first_alert = -1;
+    for (const obs::Alert& a : r.alerts) {
+      if (first_alert < 0 && a.round >= onset) first_alert = a.round;
+      alert_table.add_row({Table::num(static_cast<double>(a.round), 0),
+                           a.monitor, a.reason, Table::num(a.value, 3),
+                           Table::num(a.baseline, 3)});
+    }
+    alert_table.print();
+    if (first_alert >= 0) {
+      std::printf("detection lag: %lld round(s) after onset\n",
+                  static_cast<long long>(first_alert - onset));
+    } else {
+      std::printf("NO alert at/after the onset round — monitors missed it\n");
+    }
+  }
+  obs::recorder().set_enabled(false);
+
   std::printf(
       "\nShape check: undefended FedAvg collapses toward chance under the "
       "30%% sign-flip coalition; Nebula's robust aggregators hold within a "
-      "few points of the clean run.\n");
+      "few points of the clean run; the rejection-rate monitor flags the "
+      "delayed coalition within a round or two of its onset.\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "baselines/fedavg.h"
 
 #include "nn/state.h"
+#include "obs/recorder.h"
 #include "parallel/thread_pool.h"
 
 namespace nebula {
@@ -93,11 +94,24 @@ std::vector<std::int64_t> FedAvg::round() {
 
   std::vector<std::int64_t> participants;
   std::vector<const Slot*> survivors;
+  // Timeline feed for the comparator baseline (serial merge, like round()).
+  obs::FlightRecorder& rec = obs::recorder();
+  const bool recording = rec.enabled();
   for (std::size_t i = 0; i < pick.size(); ++i) {
     if (slots[i].error) std::rethrow_exception(slots[i].error);
     participants.push_back(static_cast<std::int64_t>(pick[i]));
     ledger_.merge(slots[i].ledger);
     if (slots[i].uploaded) survivors.push_back(&slots[i]);
+    if (recording) {
+      const int dev = static_cast<int>(pick[i]);
+      rec.record_device_event(round_idx, dev, obs::TimelineKind::kSelected,
+                              "fedavg");
+      rec.record_device_event(round_idx, dev,
+                              slots[i].uploaded
+                                  ? obs::TimelineKind::kCompleted
+                                  : obs::TimelineKind::kDropped,
+                              "fedavg");
+    }
   }
   if (survivors.empty()) return participants;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/state.h"
+#include "obs/recorder.h"
 #include "parallel/thread_pool.h"
 
 namespace nebula {
@@ -134,6 +135,19 @@ std::vector<std::int64_t> HeteroFL::round() {
       /*grain=*/1);
   for (std::size_t i = 0; i < pick.size(); ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  // Timeline feed (serial, post-barrier — same contract as round()).
+  obs::FlightRecorder& rec = obs::recorder();
+  if (rec.enabled()) {
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      const int dev = static_cast<int>(pick[i]);
+      rec.record_device_event(round_idx, dev, obs::TimelineKind::kSelected,
+                              "heterofl");
+      rec.record_device_event(round_idx, dev,
+                              uploaded[i] ? obs::TimelineKind::kCompleted
+                                          : obs::TimelineKind::kDropped,
+                              "heterofl");
+    }
   }
   if (std::find(uploaded.begin(), uploaded.end(), char(1)) == uploaded.end()) {
     return participants;  // every device lost: round leaves the model alone

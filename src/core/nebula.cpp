@@ -8,6 +8,7 @@
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/routing.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -42,6 +43,9 @@ void emit_round_event(const RoundReport& rep) {
   w.key("rejected_robust").value(rep.rejected_robust);
   w.key("robust_scores").number_array(rep.robust_scores);
   w.key("staleness_weights").number_array(rep.staleness_weights);
+  w.key("device_wall_s").number_array(rep.device_wall_s);
+  w.key("device_train_s").number_array(rep.device_train_s);
+  w.key("device_comm_s").number_array(rep.device_comm_s);
   w.key("transfer_retries").value(rep.transfer_retries);
   w.key("goodput_bytes").value(rep.goodput_bytes);
   w.key("overhead_bytes").value(rep.overhead_bytes);
@@ -75,18 +79,33 @@ void emit_quarantine_event(std::int64_t round_idx, std::int64_t device,
   log.emit(w.str());
 }
 
+/// Exact percentile of a small sample (nearest-rank with interpolation);
+/// round reports hold at most devices_per_round values, so sorting a copy
+/// beats carrying digest state in every report.
+double sample_quantile(std::vector<double> vs, double q) {
+  if (vs.empty()) return 0.0;
+  std::sort(vs.begin(), vs.end());
+  const double pos = q * static_cast<double>(vs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, vs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return vs[lo] + (vs[hi] - vs[lo]) * frac;
+}
+
 }  // namespace
 
 std::string RoundReport::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "round %lld: %zu/%zu completed (%zu dropped, %zu straggled, "
-      "%zu rejected, %lld retries) wall %.2fs entropy %.2f %s",
+      "%zu rejected, %lld retries) wall %.2fs (dev p50 %.2f p95 %.2f) "
+      "entropy %.2f %s",
       static_cast<long long>(round_index), completed.size(),
       participants.size(), dropped.size(), straggled.size(), rejected.size(),
-      static_cast<long long>(transfer_retries), wall_time_s, routing_entropy,
-      aggregated ? "aggregated" : "no-quorum");
+      static_cast<long long>(transfer_retries), wall_time_s,
+      sample_quantile(device_wall_s, 0.5), sample_quantile(device_wall_s, 0.95),
+      routing_entropy, aggregated ? "aggregated" : "no-quorum");
   return buf;
 }
 
@@ -211,8 +230,10 @@ bool NebulaSystem::faulted_transfer(std::int64_t round_idx, std::int64_t k,
     // Counted per attempt, independently of the ledger's goodput/waste
     // split — round() checks the two paths agree.
     slot.attempted_bytes += bytes;
-    slot.wall_s +=
+    const double xfer_s =
         CostModel::transfer_time_s(bytes, profile(k), fate.bandwidth_factor);
+    slot.wall_s += xfer_s;
+    slot.comm_s += xfer_s;
     const bool fails =
         faults_ && faults_->transfer_attempt_fails(round_idx, k, transfer_idx,
                                                    a);
@@ -225,9 +246,11 @@ bool NebulaSystem::faulted_transfer(std::int64_t round_idx, std::int64_t k,
     }
     if (a + 1 < attempts) {
       ++slot.transfer_retries;
-      slot.wall_s +=
+      const double backoff_s =
           std::min(policy.backoff_cap_s,
                    policy.backoff_base_s * static_cast<double>(1 << a));
+      slot.wall_s += backoff_s;
+      slot.comm_s += backoff_s;
     }
   }
   return false;
@@ -333,8 +356,10 @@ void NebulaSystem::run_round_device(std::int64_t round_idx,
       3.0 * static_cast<double>(submodel->forward_flops(cfg_.top_k)) *
       static_cast<double>(pop_.local_data(k).size()) *
       static_cast<double>(cfg_.edge.epochs);
-  slot.wall_s += CostModel::compute_time_s(train_flops, profile(k),
-                                           fate.latency_multiplier);
+  const double compute_s = CostModel::compute_time_s(train_flops, profile(k),
+                                                     fate.latency_multiplier);
+  slot.wall_s += compute_s;
+  slot.train_s += compute_s;
   // The device holds its refreshed resident sub-model from here on —
   // local training happened whatever the uplink does next.
   auto& state = edge_states_[static_cast<std::size_t>(k)];
@@ -445,10 +470,32 @@ RoundReport NebulaSystem::round() {
   double entropy_sum = 0.0, imbalance_sum = 0.0;
   std::int64_t routing_samples = 0;
   const bool probation_on = policy.probation_clean_rounds > 0;
+  // Flight recorder feed happens entirely in this serial merge: recording
+  // draws no randomness and never reorders the fold, so enabling it is
+  // bit-identity-neutral (pinned by test_flight_recorder.cpp).
+  obs::FlightRecorder& rec = obs::recorder();
+  const bool recording = rec.enabled();
+  using obs::TimelineKind;
   for (auto& slot : slots) {
     if (slot.error) std::rethrow_exception(slot.error);
     const std::int64_t k = slot.device;
+    const int dev = static_cast<int>(k);
     rep.participants.push_back(k);
+    rep.device_wall_s.push_back(slot.wall_s);
+    rep.device_train_s.push_back(slot.train_s);
+    rep.device_comm_s.push_back(slot.comm_s);
+    if (recording) {
+      rec.record_device_event(round_idx, dev, TimelineKind::kSelected);
+      if (slot.transfer_retries > 0) {
+        rec.record_device_event(round_idx, dev, TimelineKind::kRetried,
+                                "nebula",
+                                static_cast<double>(slot.transfer_retries));
+      }
+      if (slot.straggled) {
+        rec.record_device_event(round_idx, dev, TimelineKind::kStraggled,
+                                "nebula", slot.staleness_weight);
+      }
+    }
     rep.transfer_retries += slot.transfer_retries;
     rep.attempted_bytes += slot.attempted_bytes;
     ledger_.merge(slot.ledger);
@@ -465,6 +512,9 @@ RoundReport NebulaSystem::round() {
     switch (slot.outcome) {
       case DeviceRoundSlot::Outcome::kDropped:
         rep.dropped.push_back(k);
+        if (recording) {
+          rec.record_device_event(round_idx, dev, TimelineKind::kDropped);
+        }
         break;
       case DeviceRoundSlot::Outcome::kCut:
         straggler_cut = true;  // server closed the round without it
@@ -477,9 +527,18 @@ RoundReport NebulaSystem::round() {
           ++rep.rejected_norm;
         }
         emit_quarantine_event(round_idx, k, slot.verdict);
+        if (recording) {
+          rec.record_device_event(round_idx, dev, TimelineKind::kRejected,
+                                  "nebula", 0.0,
+                                  update_verdict_name(slot.verdict));
+        }
         // A fresh offense (re)starts the clean-round count from zero.
         if (probation_on) {
           probation_clean_[static_cast<std::size_t>(k)] = 0;
+          if (recording) {
+            rec.record_device_event(round_idx, dev,
+                                    TimelineKind::kQuarantined);
+          }
         }
         break;
       case DeviceRoundSlot::Outcome::kCompleted:
@@ -488,7 +547,16 @@ RoundReport NebulaSystem::round() {
           // Clean round while quarantined: credit it, withhold the update.
           rep.probation.push_back(k);
           auto& clean = probation_clean_[static_cast<std::size_t>(k)];
-          if (++clean >= policy.probation_clean_rounds) {
+          const bool readmitted = ++clean >= policy.probation_clean_rounds;
+          if (recording) {
+            rec.record_device_event(round_idx, dev, TimelineKind::kProbation,
+                                    "nebula", static_cast<double>(clean));
+            if (readmitted) {
+              rec.record_device_event(round_idx, dev,
+                                      TimelineKind::kReadmitted);
+            }
+          }
+          if (readmitted) {
             clean = -1;  // readmitted from the next round on
           }
         } else {
@@ -522,8 +590,17 @@ RoundReport NebulaSystem::round() {
       rep.rejected.push_back(k);
       ++rep.rejected_robust;
       emit_quarantine_event(round_idx, k, UpdateVerdict::kRobustOutlier);
+      if (recording) {
+        rec.record_device_event(
+            round_idx, static_cast<int>(k), TimelineKind::kRejected, "nebula",
+            0.0, update_verdict_name(UpdateVerdict::kRobustOutlier));
+      }
       if (probation_on) {
         probation_clean_[static_cast<std::size_t>(k)] = 0;
+        if (recording) {
+          rec.record_device_event(round_idx, static_cast<int>(k),
+                                  TimelineKind::kQuarantined);
+        }
       }
     }
     for (std::size_t i = 0; i < update_devices.size(); ++i) {
@@ -534,6 +611,14 @@ RoundReport NebulaSystem::round() {
     // Below quorum nothing was aggregated (or robust-scored); the devices
     // that delivered clean updates still count as completed.
     rep.completed = update_devices;
+  }
+  if (recording) {
+    // Completion is only known after the robust gate, so these land after
+    // the per-slot events — still deterministic (participant order).
+    for (std::int64_t k : rep.completed) {
+      rec.record_device_event(round_idx, static_cast<int>(k),
+                              TimelineKind::kCompleted);
+    }
   }
   rep.goodput_bytes = ledger_.total_bytes() - goodput0;
   rep.overhead_bytes = ledger_.overhead_bytes() - overhead0;
@@ -572,6 +657,41 @@ RoundReport NebulaSystem::round() {
   static obs::Gauge& m_imbalance = obs::gauge("round.routing_imbalance");
   m_entropy.set(rep.routing_entropy);
   m_imbalance.set(rep.routing_imbalance);
+  if (recording) {
+    obs::RoundSample s;
+    s.round = rep.round_index;
+    s.participants = static_cast<std::int64_t>(rep.participants.size());
+    s.completed = static_cast<std::int64_t>(rep.completed.size());
+    s.dropped = static_cast<std::int64_t>(rep.dropped.size());
+    s.straggled = static_cast<std::int64_t>(rep.straggled.size());
+    s.rejected = static_cast<std::int64_t>(rep.rejected.size());
+    s.probation = static_cast<std::int64_t>(rep.probation.size());
+    s.rejected_robust = rep.rejected_robust;
+    s.transfer_retries = rep.transfer_retries;
+    s.goodput_bytes = rep.goodput_bytes;
+    s.overhead_bytes = rep.overhead_bytes;
+    s.routing_entropy = rep.routing_entropy;
+    s.routing_imbalance = rep.routing_imbalance;
+    s.wall_time_s = rep.wall_time_s;
+    s.host_total_s = rep.host_phases.total_s;
+    if (!rep.robust_scores.empty()) {
+      double mean = 0.0, mx = 0.0;
+      for (double v : rep.robust_scores) {
+        mean += v;
+        mx = std::max(mx, v);
+      }
+      s.robust_score_mean =
+          mean / static_cast<double>(rep.robust_scores.size());
+      s.robust_score_max = mx;
+    }
+    if (!rep.participants.empty()) {
+      s.rejection_rate = static_cast<double>(rep.rejected.size()) /
+                         static_cast<double>(rep.participants.size());
+    }
+    s.aggregated = rep.aggregated;
+    rec.observe_round(s, rep.device_train_s, rep.device_comm_s,
+                      rep.robust_scores, rep.staleness_weights);
+  }
   emit_round_event(rep);
   return rep;
 }

@@ -105,6 +105,13 @@ struct RoundReport {
   /// Staleness weight applied to each straggler that was kept (parallel to
   /// `straggled`; 0 when the update was discarded).
   std::vector<double> staleness_weights;
+  /// Simulated per-device latencies, parallel to `participants` (0 for
+  /// devices that dropped before doing any work). wall = train + comm;
+  /// `comm` includes retry backoff. These feed the flight recorder's
+  /// latency quantile digests (DESIGN.md §14) and summary() percentiles.
+  std::vector<double> device_wall_s;
+  std::vector<double> device_train_s;
+  std::vector<double> device_comm_s;
   /// This round's CommLedger deltas. `attempted_bytes` is accumulated
   /// independently, one add per transfer attempt, and round() checks
   /// attempted == goodput + overhead — a genuine two-path conservation
@@ -300,6 +307,8 @@ class NebulaSystem {
     UpdateVerdict verdict = UpdateVerdict::kOk;
     EdgeUpdate update;                // valid only when kCompleted
     double wall_s = 0.0;              // simulated device wall time
+    double train_s = 0.0;             // simulated local-training time
+    double comm_s = 0.0;              // simulated transfer + backoff time
     std::int64_t transfer_retries = 0;
     std::int64_t attempted_bytes = 0;
     CommLedger ledger;                // this device's traffic delta

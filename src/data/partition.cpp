@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
+
 namespace nebula {
 
 EdgePopulation::EdgePopulation(const SyntheticGenerator& gen,
@@ -248,6 +250,11 @@ std::int64_t EdgePopulation::environment_step() {
       local_data_[static_cast<std::size_t>(k)] =
           draw_task_data(tasks_[static_cast<std::size_t>(k)], n);
       ++churned;
+      // Timeline: rounds-vs-steps note — the population is stepped once per
+      // round by the drift experiments, so step_ is the natural round axis.
+      obs::recorder().record_device_event(step_, static_cast<int>(k),
+                                          obs::TimelineKind::kChurned,
+                                          "population");
     } else if (cfg_.drift_rate > 0.0f) {
       drift_device(k);
     }

@@ -6,6 +6,7 @@
 #include "nn/init.h"
 #include "nn/state.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
@@ -436,7 +437,8 @@ void eval_pair(EdgePopulation& pop, const BenchScale& scale, FedAvg& fa,
 
 ByzantineSweepResult run_byzantine_comparison(
     TaskEnv& env, const BenchScale& scale, const FaultConfig& faults,
-    const RobustAggregationConfig& robust, std::uint64_t seed) {
+    const RobustAggregationConfig& robust, std::uint64_t seed,
+    std::int64_t attack_onset_round) {
   NEBULA_SPAN("experiment.byzantine");
   obs::WallTimer wall;
   EdgePopulation& pop = *env.population;
@@ -464,20 +466,33 @@ ByzantineSweepResult run_byzantine_comparison(
   sys.offline(env.proxy);
 
   // Identical adversary schedule for both systems — FedAvg just has no
-  // defense against it.
+  // defense against it. With a positive onset round the adversaries attach
+  // mid-run (clean rounds first), which is the change point the recorder's
+  // rejection-rate monitor should timestamp.
   FaultInjector fedavg_faults(faults);
-  fa.set_fault_injector(&fedavg_faults);
-  sys.inject_faults(faults);
+  if (attack_onset_round <= 0) {
+    fa.set_fault_injector(&fedavg_faults);
+    sys.inject_faults(faults);
+  }
+
+  obs::FlightRecorder& rec = obs::recorder();
+  const bool recording = rec.enabled();
+  if (recording) rec.reset();  // alert rounds index into this run
 
   ByzantineSweepResult res;
   const std::int64_t rounds = 2 * scale.warm_rounds;
   for (std::int64_t r = 0; r < rounds; ++r) {
+    if (attack_onset_round > 0 && r == attack_onset_round) {
+      fa.set_fault_injector(&fedavg_faults);
+      sys.inject_faults(faults);
+    }
     fa.round();
     RoundReport rep = sys.round();
     res.robust_rejected += rep.rejected_robust;
     res.updates_rejected += static_cast<std::int64_t>(rep.rejected.size());
     res.round_reports.push_back(std::move(rep));
   }
+  if (recording) res.alerts = rec.alerts();
 
   eval_pair(pop, scale, fa, sys, res.fedavg_acc, res.nebula_acc);
   res.nebula_finite = model_state_finite(sys.cloud());
@@ -496,7 +511,8 @@ ByzantineSweepResult run_byzantine_comparison(
 
 DriftSweepResult run_drift_comparison(TaskEnv& env, const BenchScale& scale,
                                       float drift_rate, float churn_prob,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      std::int64_t drift_onset_round) {
   NEBULA_SPAN("experiment.drift");
   obs::WallTimer wall;
   EdgePopulation& pop = *env.population;
@@ -522,16 +538,56 @@ DriftSweepResult run_drift_comparison(TaskEnv& env, const BenchScale& scale,
   NebulaSystem sys(env.modular(zo), pop, env.profiles, nc);
   sys.offline(env.proxy);
 
-  pop.set_dynamics(drift_rate, churn_prob);
+  // Frozen probe test sets, drawn *unconditionally* before the environment
+  // starts moving: they represent the pre-drift data distribution, so the
+  // per-round probe accuracy decays once drift kicks in — the signal the
+  // accuracy monitor watches. Drawing them regardless of recording keeps the
+  // population RNG stream identical whether or not the recorder is on.
+  const std::int64_t probe_n = std::min<std::int64_t>(4, pop.num_devices());
+  std::vector<Dataset> probes;
+  probes.reserve(static_cast<std::size_t>(probe_n));
+  for (std::int64_t k = 0; k < probe_n; ++k) {
+    probes.push_back(pop.device_test(k, scale.test_samples));
+  }
+
+  obs::FlightRecorder& rec = obs::recorder();
+  const bool recording = rec.enabled();
+  if (recording) rec.reset();  // alert rounds index into this run
+
+  if (drift_onset_round <= 0) pop.set_dynamics(drift_rate, churn_prob);
   DriftSweepResult res;
   const std::int64_t rounds = 2 * scale.warm_rounds;
   for (std::int64_t r = 0; r < rounds; ++r) {
+    if (drift_onset_round > 0 && r == drift_onset_round) {
+      pop.set_dynamics(drift_rate, churn_prob);
+    }
     // The environment moves between rounds: mixtures drift, devices churn.
-    res.churned_devices += pop.environment_step();
+    const std::int64_t churned = pop.environment_step();
+    res.churned_devices += churned;
     fa.round();
     RoundReport rep = sys.round();
+    if (recording) {
+      // Pure evals (no RNG, no ledger traffic): sub-models freshly derived
+      // from the current cloud, scored on the frozen probe sets.
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < probe_n; ++k) {
+        acc += sys.eval_derived_on(k, probes[static_cast<std::size_t>(k)]);
+      }
+      if (probe_n > 0) acc /= static_cast<double>(probe_n);
+      res.probe_accuracy.push_back(acc);
+      rec.observe_accuracy(rep.round_index, acc);
+      // Fleet churn telemetry: the fraction of devices replaced this round.
+      // In the synthetic population drift keeps class-conditionals intact,
+      // so probe accuracy barely moves (collaborative aggregation absorbs
+      // mixture drift — the paper's point); the churn-rate monitor is the
+      // signal that timestamps a delayed onset (see EXPERIMENTS.md).
+      rec.observe_metric(obs::kMonChurnRate, rep.round_index,
+                         static_cast<double>(churned) /
+                             static_cast<double>(pop.num_devices()));
+    }
     res.round_reports.push_back(std::move(rep));
   }
+  if (recording) res.alerts = rec.alerts();
 
   eval_pair(pop, scale, fa, sys, res.fedavg_acc, res.nebula_acc);
   obs::gauge("experiment.drift." + metric_token(env.spec.dataset_name) + "." +

@@ -20,6 +20,7 @@
 #include "baselines/onbaselines.h"
 #include "core/nebula.h"
 #include "data/partition.h"
+#include "obs/monitor.h"
 #include "sim/device.h"
 
 namespace nebula {
@@ -128,15 +129,28 @@ struct ByzantineSweepResult {
   std::int64_t robust_rejected = 0;   // anomaly-gate rejections (all rounds)
   std::int64_t updates_rejected = 0;  // total quarantined (all reasons)
   std::vector<RoundReport> round_reports;
+  /// Health-monitor alerts harvested from the flight recorder, in firing
+  /// order. Empty unless the recorder was enabled before the run.
+  std::vector<obs::Alert> alerts;
 };
 
 /// Pretrains both systems, attaches the same fault schedule (set
 /// `faults.byzantine_fraction` / `kind`, and `faults.num_devices` for an
 /// exact attacker count), installs `robust` as Nebula's aggregation policy,
 /// runs 2 x warm_rounds and evaluates mean device accuracy.
+///
+/// `attack_onset_round` > 0 keeps both systems fault-free until that round
+/// and attaches the adversaries there — the scenario the flight recorder's
+/// rejection-rate monitor is expected to timestamp (DESIGN.md §14). 0 (the
+/// legacy default) attacks from round 0.
+///
+/// When the flight recorder is enabled the run resets it first, so alert
+/// round indices refer to this run's rounds; recording never changes the
+/// simulation itself (feeds are draw-free).
 ByzantineSweepResult run_byzantine_comparison(
     TaskEnv& env, const BenchScale& scale, const FaultConfig& faults,
-    const RobustAggregationConfig& robust, std::uint64_t seed);
+    const RobustAggregationConfig& robust, std::uint64_t seed,
+    std::int64_t attack_onset_round = 0);
 
 /// One cell of the dynamic-environment grid (`bench_fig_drift`): class-
 /// mixture drift + device churn advance the population every round while
@@ -146,11 +160,21 @@ struct DriftSweepResult {
   double fedavg_acc = 0.0;
   std::int64_t churned_devices = 0;  // total churn events over the run
   std::vector<RoundReport> round_reports;
+  /// Per-round probe accuracy on frozen (pre-drift) test sets — the signal
+  /// the accuracy monitor watches. Only populated while the flight recorder
+  /// is enabled (the probe *draws* happen unconditionally, so enabling
+  /// recording never shifts the population RNG stream).
+  std::vector<double> probe_accuracy;
+  std::vector<obs::Alert> alerts;  // empty unless the recorder was enabled
 };
 
+/// `drift_onset_round` > 0 keeps the environment static until that round,
+/// then switches on drift/churn — the drift-detection scenario for the
+/// accuracy monitor. 0 (the legacy default) drifts from the first step.
 DriftSweepResult run_drift_comparison(TaskEnv& env, const BenchScale& scale,
                                       float drift_rate, float churn_prob,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      std::int64_t drift_onset_round = 0);
 
 /// True when every parameter of the modular model (shared + all modules) is
 /// finite — the invariant the quarantine must preserve.

@@ -1,0 +1,149 @@
+#include "obs/endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace nebula::obs {
+
+namespace {
+
+std::string error_body(const std::string& msg) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("error").value(msg);
+  w.end_object();
+  return w.str();
+}
+
+/// Extracts the path from a request line ("GET /health HTTP/1.0"). Bare
+/// paths ("/health") are accepted too, so `nc` one-liners work.
+std::string parse_path(const std::string& request) {
+  std::istringstream is(request);
+  std::string first, second;
+  is >> first >> second;
+  if (!first.empty() && first[0] == '/') return first;
+  return second;
+}
+
+}  // namespace
+
+ObsEndpoint::~ObsEndpoint() { stop(); }
+
+ObsEndpoint::Response ObsEndpoint::handle_request(const std::string& path) {
+  std::ostringstream body;
+  if (path == "/metrics") {
+    MetricsRegistry::instance().write_json(body);
+  } else if (path == "/timeseries") {
+    recorder().timeseries().write_json(body);
+  } else if (path == "/health") {
+    recorder().write_health_json(body);
+  } else if (path == "/devices" || path == "/devices/") {
+    recorder().timeline().write_index_json(body);
+  } else if (path.rfind("/devices/", 0) == 0) {
+    const std::string id = path.substr(9);
+    char* end = nullptr;
+    const long device = std::strtol(id.c_str(), &end, 10);
+    if (end == id.c_str() || *end != '\0' || device < 0) {
+      return {404, error_body("bad device id: " + id)};
+    }
+    recorder().timeline().write_device_json(body, static_cast<int>(device));
+  } else {
+    return {404, error_body("unknown path: " + path)};
+  }
+  return {200, body.str()};
+}
+
+int ObsEndpoint::start(int port) {
+  if (running_.load(std::memory_order_relaxed)) return port_;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    NEBULA_LOG(kWarn) << "obs endpoint: socket() failed: "
+                      << std::strerror(errno);
+    return 0;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local inspection only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    NEBULA_LOG(kWarn) << "obs endpoint: bind/listen on port " << port
+                      << " failed: " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  NEBULA_LOG(kInfo) << "obs endpoint serving on 127.0.0.1:" << port_;
+  return port_;
+}
+
+void ObsEndpoint::stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  // Unblocks accept() on the serving thread; close happens there.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ObsEndpoint::serve_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() from stop(), or a fatal socket error
+    }
+    // A slow/hostile client must not wedge the loop indefinitely.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      const Response resp = handle_request(parse_path(buf));
+      std::ostringstream out;
+      out << "HTTP/1.0 " << resp.status
+          << (resp.status == 200 ? " OK" : " Not Found") << "\r\n"
+          << "Content-Type: application/json\r\n"
+          << "Content-Length: " << resp.body.size() << "\r\n"
+          << "Connection: close\r\n\r\n"
+          << resp.body;
+      const std::string reply = out.str();
+      std::size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w =
+            ::send(client, reply.data() + sent, reply.size() - sent, 0);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace nebula::obs

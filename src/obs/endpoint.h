@@ -1,0 +1,62 @@
+// Live inspection endpoint (DESIGN.md §14): a zero-dependency TCP server
+// exposing the flight recorder and metrics registry as JSON over minimal
+// HTTP/1.0. Intended for `curl 127.0.0.1:$NEBULA_OBS_PORT/health` against a
+// long-running training server (examples/serve_obs_demo.cpp) — not a
+// general-purpose web server.
+//
+// Routes (all GET, all JSON):
+//   /metrics        MetricsRegistry::write_json (schema 1)
+//   /timeseries     TimeSeriesRing::write_json (retained round samples)
+//   /health         monitor states + digests + retained alerts
+//   /devices        timeline index (device ids, totals)
+//   /devices/<id>   one device's timeline events
+// Unknown paths return HTTP 404 with {"error":...}.
+//
+// Threading: one accept loop on a background thread, one request served at a
+// time (requests are tiny; concurrency comes from the recorder's internal
+// locks, which the serving thread shares with the round feed path — that
+// snapshot-while-writing interleaving is what the TSan obs suite pins).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace nebula::obs {
+
+class ObsEndpoint {
+ public:
+  ObsEndpoint() = default;
+  ~ObsEndpoint();
+
+  ObsEndpoint(const ObsEndpoint&) = delete;
+  ObsEndpoint& operator=(const ObsEndpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// Returns the bound port, or 0 on bind failure (logged, not fatal — a
+  /// busy port must not kill a training run).
+  int start(int port);
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  int port() const { return port_; }
+
+  /// Pure routing: body + status for a request path. Exposed so tests can
+  /// cover every route without sockets.
+  struct Response {
+    int status = 200;
+    std::string body;
+  };
+  static Response handle_request(const std::string& path);
+
+ private:
+  void serve_loop();
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace nebula::obs

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/table.h"
 #include "obs/json.h"
+#include "obs/timeseries.h"
 
 namespace nebula::obs {
 
@@ -55,6 +56,10 @@ double Histogram::sum() const {
   double total = 0.0;
   for (const auto& s : sums_) total += s.sum.load(std::memory_order_relaxed);
   return total;
+}
+
+double Histogram::quantile(double q) const {
+  return quantile_from_counts(bounds_, counts(), q, /*lo=*/0.0);
 }
 
 void Histogram::reset() {
@@ -141,6 +146,11 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     w.key("counts").int_array(h->counts());
     w.key("count").value(h->count());
     w.key("sum").value(h->sum());
+    w.key("quantiles").begin_object();
+    w.key("p50").value(h->quantile(0.5));
+    w.key("p95").value(h->quantile(0.95));
+    w.key("p99").value(h->quantile(0.99));
+    w.end_object();
     w.end_object();
   }
   w.end_object();
@@ -161,7 +171,10 @@ void MetricsRegistry::write_table(std::ostream& os) const {
     const std::int64_t n = h->count();
     const double mean = n > 0 ? h->sum() / static_cast<double>(n) : 0.0;
     table.add_row({name, "histogram",
-                   "n=" + std::to_string(n) + " mean=" + Table::num(mean, 6)});
+                   "n=" + std::to_string(n) + " mean=" + Table::num(mean, 6) +
+                       " p50=" + Table::num(h->quantile(0.5), 6) +
+                       " p95=" + Table::num(h->quantile(0.95), 6) +
+                       " p99=" + Table::num(h->quantile(0.99), 6)});
   }
   table.print(os);
 }

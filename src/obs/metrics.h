@@ -18,9 +18,11 @@
 //
 // JSON schema (schema 1):
 //   {"schema":1, "counters":{name:int}, "gauges":{name:num},
-//    "histograms":{name:{"bounds":[...],"counts":[...],"count":n,"sum":s}}}
+//    "histograms":{name:{"bounds":[...],"counts":[...],"count":n,"sum":s,
+//                        "quantiles":{"p50":..,"p95":..,"p99":..}}}}
 // Histogram `counts` has bounds.size()+1 entries; the last is the overflow
-// bucket (> bounds.back()).
+// bucket (> bounds.back()). `quantiles` are linear-interpolated from the
+// le-buckets (see obs/timeseries.h quantile_from_counts).
 #pragma once
 
 #include <atomic>
@@ -109,6 +111,10 @@ class Histogram {
   std::vector<std::int64_t> counts() const;
   std::int64_t count() const;
   double sum() const;
+  /// Linear-interpolated quantile from the le-buckets (Prometheus-style):
+  /// the first bucket interpolates from 0, the overflow bucket clamps to
+  /// bounds().back(). 0 when the histogram is empty.
+  double quantile(double q) const;
   void reset();
 
  private:

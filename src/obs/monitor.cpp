@@ -1,0 +1,91 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nebula::obs {
+
+HealthMonitor::HealthMonitor(std::string name, MonitorConfig cfg)
+    : name_(std::move(name)), cfg_(cfg) {
+  NEBULA_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0);
+  NEBULA_CHECK(cfg_.spike_sigma > 0.0 && cfg_.spike_min_dev >= 0.0);
+  NEBULA_CHECK(cfg_.warmup >= 1 && cfg_.cooldown >= 0);
+  NEBULA_CHECK(cfg_.ph_delta >= 0.0 && cfg_.ph_lambda > 0.0);
+}
+
+std::optional<Alert> HealthMonitor::update(std::int64_t round, double value) {
+  if (!std::isfinite(value)) return std::nullopt;
+  ++n_;
+
+  if (n_ == 1) {
+    mean_ = value;
+    var_ = 0.0;
+    run_mean_ = value;
+    ph_n_ = 1;
+    return std::nullopt;
+  }
+
+  std::optional<Alert> fired;
+  const bool armed = n_ > cfg_.warmup && round > cooldown_until_;
+
+  // EWMA spike detector: test against the baseline *before* absorbing the
+  // new value, so a step change is judged against pre-step statistics.
+  const double dev = value - mean_;
+  const double sigma = std::sqrt(std::max(var_, 0.0));
+  const bool direction_ok =
+      (dev > 0.0 && cfg_.detect_up) || (dev < 0.0 && cfg_.detect_down);
+  if (armed && direction_ok && std::fabs(dev) >= cfg_.spike_min_dev &&
+      std::fabs(dev) >= cfg_.spike_sigma * sigma) {
+    fired = Alert{round, name_, "spike", value, mean_, dev};
+  }
+
+  // Page-Hinkley drift detector on the running (uniform) mean. The mean is
+  // computed over samples since the last alarm (ph_n_), not process life,
+  // so the detector re-adapts to each post-change regime.
+  ++ph_n_;
+  run_mean_ += (value - run_mean_) / static_cast<double>(ph_n_);
+  ph_up_ += value - run_mean_ - cfg_.ph_delta;
+  ph_up_min_ = std::min(ph_up_min_, ph_up_);
+  ph_down_ += value - run_mean_ + cfg_.ph_delta;
+  ph_down_max_ = std::max(ph_down_max_, ph_down_);
+  if (!fired && armed) {
+    if (cfg_.detect_up && ph_up_ - ph_up_min_ > cfg_.ph_lambda) {
+      fired = Alert{round, name_, "drift_up", value, run_mean_,
+                    ph_up_ - ph_up_min_};
+    } else if (cfg_.detect_down && ph_down_max_ - ph_down_ > cfg_.ph_lambda) {
+      fired = Alert{round, name_, "drift_down", value, run_mean_,
+                    ph_down_max_ - ph_down_};
+    }
+  }
+
+  // Absorb the sample into the EWMA baseline after testing.
+  const double a = cfg_.ewma_alpha;
+  const double d = value - mean_;
+  mean_ += a * d;
+  var_ = (1.0 - a) * (var_ + a * d * d);
+
+  if (fired) {
+    cooldown_until_ = round + cfg_.cooldown;
+    // Restart the drift statistics so the detector re-arms against the
+    // post-change regime instead of re-firing on the same excursion.
+    ph_up_ = ph_up_min_ = 0.0;
+    ph_down_ = ph_down_max_ = 0.0;
+    run_mean_ = value;
+    ph_n_ = 1;
+  }
+  return fired;
+}
+
+void HealthMonitor::reset() {
+  n_ = 0;
+  mean_ = var_ = 0.0;
+  run_mean_ = 0.0;
+  ph_n_ = 0;
+  ph_up_ = ph_up_min_ = 0.0;
+  ph_down_ = ph_down_max_ = 0.0;
+  cooldown_until_ = -1;
+}
+
+}  // namespace nebula::obs

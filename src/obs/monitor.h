@@ -1,0 +1,82 @@
+// Flight-recorder online health monitors (DESIGN.md §14): lightweight
+// change-point detectors over per-round scalar signals (rejection rate,
+// routing entropy, robust anomaly scores, probe accuracy).
+//
+// Two detectors run side by side on each monitored signal:
+//  * EWMA spike: track an exponentially-weighted baseline; alert when a new
+//    value deviates from it by spike_sigma EWMA-stddevs AND an absolute
+//    floor (spike_min_dev) — the floor keeps a near-constant signal (e.g.
+//    rejection rate pinned at 0 before an attack) from alerting on noise.
+//  * Page-Hinkley drift: accumulate deviations from the running mean; alert
+//    when the cumulative drift statistic exceeds ph_lambda. Catches slow
+//    ramps the spike detector misses.
+//
+// Determinism: update() is pure state-machine arithmetic — no RNG, no
+// clocks — so the alert stream is a function of the fed signal alone, and
+// recording never perturbs simulation streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nebula::obs {
+
+struct MonitorConfig {
+  double ewma_alpha = 0.3;    // baseline smoothing factor
+  double spike_sigma = 4.0;   // deviation threshold in EWMA stddevs
+  double spike_min_dev = 0.1; // absolute deviation floor for spike alerts
+  int warmup = 3;             // samples to absorb before alerting
+  double ph_delta = 0.005;    // Page-Hinkley slack per sample
+  double ph_lambda = 0.25;    // Page-Hinkley alarm threshold
+  bool detect_up = true;      // alert on upward deviations
+  bool detect_down = false;   // alert on downward deviations
+  int cooldown = 5;           // rounds to suppress repeat alerts after firing
+};
+
+/// One structured alert. Serialised as a JSONL line (schema validated by
+/// tools/check_trace.py):
+///   {"type":"alert","round":..,"monitor":"rejection_rate","reason":"spike",
+///    "value":..,"baseline":..,"deviation":..}
+/// reason ∈ {"spike","drift_up","drift_down"}.
+struct Alert {
+  std::int64_t round = 0;
+  std::string monitor;
+  std::string reason;
+  double value = 0.0;
+  double baseline = 0.0;
+  double deviation = 0.0;
+};
+
+/// Detector state for a single named signal. Not thread-safe on its own —
+/// the FlightRecorder feeds all monitors from the serial merge phase.
+class HealthMonitor {
+ public:
+  HealthMonitor(std::string name, MonitorConfig cfg);
+
+  /// Feeds one sample; returns an alert if a detector fired this round.
+  std::optional<Alert> update(std::int64_t round, double value);
+
+  const std::string& name() const { return name_; }
+  const MonitorConfig& config() const { return cfg_; }
+  double baseline() const { return mean_; }
+  std::int64_t samples() const { return n_; }
+  void reset();
+
+ private:
+  std::string name_;
+  MonitorConfig cfg_;
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;      // EWMA baseline
+  double var_ = 0.0;       // EWMA variance
+  double run_mean_ = 0.0;  // running mean for Page-Hinkley
+  std::int64_t ph_n_ = 0;  // samples since last alarm (PH mean window)
+  double ph_up_ = 0.0;     // PH cumulative statistics
+  double ph_up_min_ = 0.0;
+  double ph_down_ = 0.0;
+  double ph_down_max_ = 0.0;
+  std::int64_t cooldown_until_ = -1;
+};
+
+}  // namespace nebula::obs

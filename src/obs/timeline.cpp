@@ -1,0 +1,156 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace nebula::obs {
+
+const char* timeline_kind_name(TimelineKind k) {
+  switch (k) {
+    case TimelineKind::kSelected: return "selected";
+    case TimelineKind::kCompleted: return "completed";
+    case TimelineKind::kDropped: return "dropped";
+    case TimelineKind::kRetried: return "retried";
+    case TimelineKind::kStraggled: return "straggled";
+    case TimelineKind::kRejected: return "rejected";
+    case TimelineKind::kQuarantined: return "quarantined";
+    case TimelineKind::kProbation: return "probation";
+    case TimelineKind::kReadmitted: return "readmitted";
+    case TimelineKind::kChurned: return "churned";
+  }
+  return "unknown";
+}
+
+TimelineStore::TimelineStore(std::size_t per_device_cap)
+    : per_device_cap_(per_device_cap) {
+  NEBULA_CHECK(per_device_cap_ > 0);
+}
+
+void TimelineStore::record(std::int64_t round, int device, TimelineKind kind,
+                           const char* source, double value,
+                           const char* detail) {
+  NEBULA_CHECK(device >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<TimelineEvent>& dq = by_device_[device];
+  if (dq.size() >= per_device_cap_) {
+    dq.pop_front();
+    ++dropped_;
+  }
+  TimelineEvent ev;
+  ev.seq = next_seq_++;
+  ev.round = round;
+  ev.device = device;
+  ev.kind = kind;
+  ev.source = source;
+  ev.value = value;
+  ev.detail = detail;
+  dq.push_back(ev);
+}
+
+std::vector<TimelineEvent> TimelineStore::events_for(int device) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_device_.find(device);
+  if (it == by_device_.end()) return {};
+  return std::vector<TimelineEvent>(it->second.begin(), it->second.end());
+}
+
+std::vector<TimelineEvent> TimelineStore::all_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimelineEvent> out;
+  for (const auto& [dev, dq] : by_device_) {
+    out.insert(out.end(), dq.begin(), dq.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<int> TimelineStore::devices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.reserve(by_device_.size());
+  for (const auto& [dev, dq] : by_device_) out.push_back(dev);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::int64_t TimelineStore::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::int64_t TimelineStore::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TimelineStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_device_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+void write_event(JsonWriter& w, const TimelineEvent& ev) {
+  w.begin_object();
+  w.key("type").value("timeline");
+  w.key("seq").value(ev.seq);
+  w.key("round").value(ev.round);
+  w.key("device").value(static_cast<std::int64_t>(ev.device));
+  w.key("kind").value(timeline_kind_name(ev.kind));
+  w.key("source").value(ev.source);
+  w.key("value").value(ev.value);
+  w.key("detail").value(ev.detail);
+  w.end_object();
+}
+
+}  // namespace
+
+void TimelineStore::write_jsonl(std::ostream& os) const {
+  for (const TimelineEvent& ev : all_events()) {
+    JsonWriter w;
+    write_event(w, ev);
+    os << w.str() << '\n';
+  }
+}
+
+void TimelineStore::write_device_json(std::ostream& os, int device) const {
+  const std::vector<TimelineEvent> evs = events_for(device);
+  JsonWriter w;
+  w.begin_object();
+  w.key("device").value(static_cast<std::int64_t>(device));
+  w.key("events").begin_array();
+  for (const TimelineEvent& ev : evs) write_event(w, ev);
+  w.end_array();
+  w.end_object();
+  os << w.str();
+}
+
+void TimelineStore::write_index_json(std::ostream& os) const {
+  std::vector<int> devs = devices();
+  std::int64_t total, lost;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = next_seq_;
+    lost = dropped_;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.key("devices").begin_array();
+  for (int d : devs) w.value(static_cast<std::int64_t>(d));
+  w.end_array();
+  w.key("total_recorded").value(total);
+  w.key("dropped").value(lost);
+  w.key("per_device_cap").value(static_cast<std::int64_t>(per_device_cap_));
+  w.end_object();
+  os << w.str();
+}
+
+}  // namespace nebula::obs

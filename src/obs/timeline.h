@@ -1,0 +1,88 @@
+// Flight-recorder per-device timeline store (DESIGN.md §14): compact
+// append-only event records keyed by device id, ring-bounded per device,
+// exportable as JSONL and queryable in-process.
+//
+// Events are appended from the serial merge phase of a round (or the serial
+// prologue/epilogue of population churn), never from inside a parallel
+// region, so a single mutex is cheap. Readers (the endpoint thread, tests)
+// snapshot under the same mutex.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nebula::obs {
+
+/// What happened to a device. Kept in one enum (not free-form strings) so
+/// tools/check_trace.py can validate the closed set.
+enum class TimelineKind : std::uint8_t {
+  kSelected = 0,    // picked as a round participant
+  kCompleted,       // update accepted into aggregation
+  kDropped,         // crash / dropout / transfer failure exhausted retries
+  kRetried,         // at least one transfer retry this round (value = count)
+  kStraggled,       // finished past deadline (value = staleness weight)
+  kRejected,        // update quarantined (detail = verdict reason)
+  kQuarantined,     // entered probation after a rejection
+  kProbation,       // served a clean probation round (value = clean count)
+  kReadmitted,      // probation complete, trust restored
+  kChurned,         // device replaced by environment_step (task + data re-roll)
+};
+
+const char* timeline_kind_name(TimelineKind k);
+
+struct TimelineEvent {
+  std::int64_t seq = 0;    // global append order (strictly increasing)
+  std::int64_t round = 0;  // round index (or population step for churn)
+  int device = -1;
+  TimelineKind kind = TimelineKind::kSelected;
+  const char* source = "nebula";  // static string: nebula/fedavg/heterofl/...
+  double value = 0.0;             // kind-specific payload (see enum comments)
+  const char* detail = "";        // static string, e.g. rejection verdict
+};
+
+/// Ring-bounded per-device event store. `per_device_cap` bounds each
+/// device's deque; evictions bump `dropped()` so long runs stay honest about
+/// what the window no longer covers.
+class TimelineStore {
+ public:
+  explicit TimelineStore(std::size_t per_device_cap = 256);
+
+  void record(std::int64_t round, int device, TimelineKind kind,
+              const char* source = "nebula", double value = 0.0,
+              const char* detail = "");
+
+  /// Events for one device, oldest first. Empty when unknown.
+  std::vector<TimelineEvent> events_for(int device) const;
+  /// All retained events across devices, ordered by seq.
+  std::vector<TimelineEvent> all_events() const;
+  /// Device ids with at least one retained event, ascending.
+  std::vector<int> devices() const;
+
+  std::int64_t total_recorded() const;
+  std::int64_t dropped() const;
+  std::size_t per_device_cap() const { return per_device_cap_; }
+  void clear();
+
+  /// One JSONL line per retained event, seq order:
+  ///   {"type":"timeline","seq":..,"round":..,"device":..,"kind":"selected",
+  ///    "source":"nebula","value":..,"detail":".."}
+  void write_jsonl(std::ostream& os) const;
+  /// JSON object for one device (endpoint /devices/<id>).
+  void write_device_json(std::ostream& os, int device) const;
+  /// JSON summary of the store (endpoint /devices).
+  void write_index_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t per_device_cap_;
+  std::unordered_map<int, std::deque<TimelineEvent>> by_device_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace nebula::obs

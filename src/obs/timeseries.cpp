@@ -1,0 +1,177 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace nebula::obs {
+
+double quantile_from_counts(const std::vector<double>& bounds,
+                            const std::vector<std::int64_t>& counts, double q,
+                            double lo) {
+  NEBULA_CHECK(counts.size() == bounds.size() + 1);
+  NEBULA_CHECK(q >= 0.0 && q <= 1.0);
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation, 1-based; q=0 → first, q=1 → last.
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank && counts[i] > 0) {
+      if (i == counts.size() - 1) {
+        // Overflow bucket has no upper edge; clamp to the last finite bound.
+        return bounds.empty() ? lo : bounds.back();
+      }
+      const double lower = (i == 0) ? lo : bounds[i - 1];
+      const double upper = bounds[i];
+      const double before = static_cast<double>(cum - counts[i]);
+      const double within =
+          (rank - before) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+  }
+  return bounds.empty() ? lo : bounds.back();
+}
+
+QuantileDigest::QuantileDigest(double lo, double factor, std::size_t n) {
+  NEBULA_CHECK(lo > 0.0 && factor > 1.0 && n > 0);
+  bounds_.reserve(n);
+  double b = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds_.push_back(b);
+    b *= factor;
+  }
+  counts_.assign(n + 1, 0);
+}
+
+void QuantileDigest::observe(double v) {
+  if (!std::isfinite(v)) return;  // never let NaN poison the digest
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+double QuantileDigest::quantile(double q) const {
+  return quantile_from_counts(bounds_, counts_, q, 0.0);
+}
+
+void QuantileDigest::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+TimeSeriesRing::TimeSeriesRing(std::size_t capacity) : capacity_(capacity) {
+  NEBULA_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void TimeSeriesRing::push(const RoundSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[head_] = sample;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<RoundSample> TimeSeriesRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RoundSample> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TimeSeriesRing::annotate_accuracy(std::int64_t round, double accuracy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Newest samples are likeliest to match; scan backwards from the tail.
+  for (std::size_t i = ring_.size(); i-- > 0;) {
+    RoundSample& s = ring_[(head_ + i) % ring_.size()];
+    if (s.round == round) {
+      s.accuracy = accuracy;
+      return;
+    }
+    if (s.round < round) return;  // already evicted
+  }
+}
+
+std::size_t TimeSeriesRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::int64_t TimeSeriesRing::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void TimeSeriesRing::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+namespace {
+
+void write_sample(JsonWriter& w, const RoundSample& s) {
+  w.begin_object();
+  w.key("round").value(s.round);
+  w.key("participants").value(s.participants);
+  w.key("completed").value(s.completed);
+  w.key("dropped").value(s.dropped);
+  w.key("straggled").value(s.straggled);
+  w.key("rejected").value(s.rejected);
+  w.key("probation").value(s.probation);
+  w.key("rejected_robust").value(s.rejected_robust);
+  w.key("transfer_retries").value(s.transfer_retries);
+  w.key("goodput_bytes").value(s.goodput_bytes);
+  w.key("overhead_bytes").value(s.overhead_bytes);
+  w.key("routing_entropy").value(s.routing_entropy);
+  w.key("routing_imbalance").value(s.routing_imbalance);
+  w.key("wall_time_s").value(s.wall_time_s);
+  w.key("host_total_s").value(s.host_total_s);
+  w.key("robust_score_mean").value(s.robust_score_mean);
+  w.key("robust_score_max").value(s.robust_score_max);
+  w.key("rejection_rate").value(s.rejection_rate);
+  w.key("accuracy").value(s.accuracy);
+  w.key("aggregated").value(s.aggregated);
+  w.end_object();
+}
+
+}  // namespace
+
+void TimeSeriesRing::write_json(std::ostream& os) const {
+  const std::vector<RoundSample> samples = snapshot();
+  std::int64_t total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = total_;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.key("capacity").value(static_cast<std::int64_t>(capacity_));
+  w.key("total").value(total);
+  w.key("samples").begin_array();
+  for (const RoundSample& s : samples) write_sample(w, s);
+  w.end_array();
+  w.end_object();
+  os << w.str();
+}
+
+}  // namespace nebula::obs

@@ -1,0 +1,113 @@
+// Flight-recorder time-series layer (DESIGN.md §14): a fixed-capacity ring
+// of per-round snapshots plus streaming quantile digests.
+//
+// NebulaSystem::round() pushes one RoundSample per round at merge time (so
+// the feed is deterministic and worker-count independent) and feeds the
+// digests with per-device latencies, robust scores and staleness weights.
+// The ring answers "what happened over the last N rounds" while the run is
+// still going — the inspection endpoint serves it as /timeseries — without
+// unbounded growth on long-running servers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nebula::obs {
+
+/// Linear-interpolated quantile over Prometheus-style `le` buckets: counts
+/// has bounds.size() + 1 entries, the last being the +inf overflow bucket.
+/// The first bucket interpolates from `lo` (0 for latency-style data); the
+/// overflow bucket clamps to bounds.back(). Returns 0 when total is zero.
+double quantile_from_counts(const std::vector<double>& bounds,
+                            const std::vector<std::int64_t>& counts, double q,
+                            double lo = 0.0);
+
+/// Streaming quantile digest: fixed log-spaced buckets, constant memory,
+/// deterministic (no sampling). Quantiles are linear-interpolated within the
+/// owning bucket, so relative error is bounded by the bucket growth factor.
+class QuantileDigest {
+ public:
+  /// Buckets span [lo, lo * factor^(n-1)] plus an overflow bucket.
+  explicit QuantileDigest(double lo = 1e-4, double factor = 1.6,
+                          std::size_t n = 48);
+
+  void observe(double v);
+  double quantile(double q) const;
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;  // bounds_.size() + 1 cells
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One round's distilled telemetry — everything the fleet dashboard plots
+/// per round, flattened from RoundReport (core/nebula.h).
+struct RoundSample {
+  std::int64_t round = 0;
+  std::int64_t participants = 0;
+  std::int64_t completed = 0;
+  std::int64_t dropped = 0;
+  std::int64_t straggled = 0;
+  std::int64_t rejected = 0;
+  std::int64_t probation = 0;
+  std::int64_t rejected_robust = 0;
+  std::int64_t transfer_retries = 0;
+  std::int64_t goodput_bytes = 0;
+  std::int64_t overhead_bytes = 0;
+  double routing_entropy = 0.0;
+  double routing_imbalance = 1.0;
+  double wall_time_s = 0.0;         // simulated round wall time
+  double host_total_s = 0.0;        // measured host time for round()
+  double robust_score_mean = 0.0;   // 0 when no scores this round
+  double robust_score_max = 0.0;
+  double rejection_rate = 0.0;      // rejected / participants
+  double accuracy = -1.0;           // probe accuracy; -1 = not evaluated
+  bool aggregated = false;
+};
+
+/// Fixed-capacity ring of RoundSamples. Push happens on the round's merge
+/// thread; snapshot() may race with it from the endpoint thread, so both
+/// take the mutex (appends are rare and tiny — one per round).
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(std::size_t capacity = 1024);
+
+  void push(const RoundSample& sample);
+  /// Oldest-to-newest copy of the retained window.
+  std::vector<RoundSample> snapshot() const;
+  /// Patches `accuracy` on the retained sample for `round`, if present
+  /// (probe evaluations land after the round is pushed).
+  void annotate_accuracy(std::int64_t round, double accuracy);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total samples ever pushed (>= size(): the ring forgets, this doesn't).
+  std::int64_t total_pushed() const;
+  void clear();
+
+  /// {"capacity":..,"total":..,"samples":[{...},...]} oldest first.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write position
+  std::vector<RoundSample> ring_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace nebula::obs

@@ -4,8 +4,10 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/check.h"
 #include "common/sink.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace nebula::obs {
 
@@ -48,12 +50,19 @@ Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
   return *tls_buffer;
 }
 
+void Tracer::set_thread_buffer_cap(std::size_t cap) {
+  NEBULA_CHECK_MSG(cap > 0, "tracer thread buffer cap must be positive");
+  cap_.store(cap, std::memory_order_relaxed);
+}
+
 void Tracer::emit(const char* name, std::uint64_t start_ns,
                   std::uint64_t end_ns) {
   ThreadBuffer& buf = buffer_for_this_thread();
   std::lock_guard<std::mutex> lock(buf.mu);
-  if (buf.events.size() >= kMaxEventsPerThread) {
+  if (buf.events.size() >= cap_.load(std::memory_order_relaxed)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& m_dropped = counter("trace.dropped");
+    m_dropped.add(1);
     return;
   }
   buf.events.push_back(TraceEvent{

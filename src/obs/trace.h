@@ -69,6 +69,14 @@ class Tracer {
   std::size_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Per-thread buffer cap. Bounds tracer memory on long runs: once a
+  /// thread's buffer is full further spans are counted (dropped() and the
+  /// `trace.dropped` metrics counter), not stored. Settable so tests can
+  /// exercise the cap without recording 4M spans; 0 is rejected.
+  std::size_t thread_buffer_cap() const {
+    return cap_.load(std::memory_order_relaxed);
+  }
+  void set_thread_buffer_cap(std::size_t cap);
 
   /// Writes the trace to `path` — used by the NEBULA_TRACE exit hook and
   /// callable explicitly for deterministic flushing.
@@ -84,13 +92,14 @@ class Tracer {
     mutable std::mutex mu;  // uncontended: only the owner appends
     std::vector<TraceEvent> events;
   };
-  static constexpr std::size_t kMaxEventsPerThread = 1u << 22;
+  static constexpr std::size_t kDefaultEventsPerThread = 1u << 22;
 
   ThreadBuffer& buffer_for_this_thread();
 
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;  // guards buffers_ registration
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::size_t> cap_{kDefaultEventsPerThread};
   std::atomic<std::size_t> dropped_{0};
   std::string flush_path_;
 };

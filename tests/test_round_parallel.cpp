@@ -18,6 +18,7 @@
 #include "core/nebula.h"
 #include "nn/init.h"
 #include "nn/state.h"
+#include "obs/recorder.h"
 #include "parallel/thread_pool.h"
 #include "sim/faults.h"
 
@@ -105,6 +106,9 @@ void expect_reports_identical(const RoundReport& a, const RoundReport& b) {
   EXPECT_EQ(a.robust_scores, b.robust_scores);
   EXPECT_EQ(a.transfer_retries, b.transfer_retries);
   EXPECT_EQ(a.staleness_weights, b.staleness_weights);
+  EXPECT_EQ(a.device_wall_s, b.device_wall_s);
+  EXPECT_EQ(a.device_train_s, b.device_train_s);
+  EXPECT_EQ(a.device_comm_s, b.device_comm_s);
   EXPECT_EQ(a.goodput_bytes, b.goodput_bytes);
   EXPECT_EQ(a.overhead_bytes, b.overhead_bytes);
   EXPECT_EQ(a.attempted_bytes, b.attempted_bytes);
@@ -128,6 +132,11 @@ void expect_ledgers_identical(const CommLedger& a, const CommLedger& b) {
 void expect_serial_parallel_identical(NebulaConfig cfg,
                                       const FaultConfig* faults,
                                       int rounds = 3) {
+  // The whole equivalence suite runs with the flight recorder on: recording
+  // must be bit-identity-neutral (DESIGN.md §14), so turning it on here both
+  // pins that contract and exercises the feed path under both pool sizes.
+  obs::recorder().set_enabled(true);
+  obs::recorder().reset();
   World w1, w2;
   auto serial = w1.make_system(cfg);
   auto parallel = w2.make_system(cfg);
@@ -207,6 +216,8 @@ TEST(ParallelRound, RobustAggregatorRoundsAreBitIdentical) {
 }
 
 TEST(ParallelRound, FedAvgRoundsAreBitIdentical) {
+  obs::recorder().set_enabled(true);
+  obs::recorder().reset();
   World w1, w2;
   FedAvgConfig cfg;
   cfg.devices_per_round = 4;
@@ -241,6 +252,8 @@ TEST(ParallelRound, FedAvgRoundsAreBitIdentical) {
 }
 
 TEST(ParallelRound, HeteroFLRoundsAreBitIdentical) {
+  obs::recorder().set_enabled(true);
+  obs::recorder().reset();
   World w1, w2;
   HeteroFLConfig cfg;
   cfg.devices_per_round = 4;

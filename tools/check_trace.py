@@ -2,14 +2,19 @@
 """Schema validator for the observability layer's output files.
 
 Validates any combination of:
-  --trace trace.json     Chrome/Perfetto trace_event JSON from the span tracer
-  --metrics metrics.json Metrics registry JSON (schema 1)
-  --events rounds.jsonl  Round-telemetry JSONL from NEBULA_EVENTS
+  --trace trace.json       Chrome/Perfetto trace_event JSON from the span tracer
+  --metrics metrics.json   Metrics registry JSON (schema 1)
+  --events rounds.jsonl    Round/alert-telemetry JSONL from NEBULA_EVENTS
+  --timeline timeline.jsonl Flight-recorder timeline + alert JSONL
+                            (NEBULA_TIMELINE / FlightRecorder::write_jsonl)
 
 Beyond shape checks this enforces the invariants the C++ side promises:
-span nesting is well-formed per thread, histogram counts are consistent,
-and each round event conserves traffic (attempted == goodput + overhead)
-and accounts for every participant.
+span nesting is well-formed per thread, histogram counts are consistent
+and their quantiles ordered, each round event conserves traffic
+(attempted == goodput + overhead) and accounts for every participant,
+timeline sequence numbers are strictly increasing with per-source
+nondecreasing rounds, and — when --events is also given — every nebula
+timeline device was a participant of its round (referential integrity).
 
   python3 tools/check_trace.py --trace trace.json \
       --require-span nebula.offline --require-span nebula.round:3
@@ -156,6 +161,16 @@ def check_metrics(path):
                  f"sum of buckets {sum(counts)}")
         if not is_num(h.get("sum")):
             fail(f"metrics: histogram {name} sum must be a finite number")
+        q = h.get("quantiles")
+        if not isinstance(q, dict):
+            fail(f"metrics: histogram {name} lacks quantiles object")
+            continue
+        vals = [q.get(k) for k in ("p50", "p95", "p99")]
+        if not all(is_num(v) for v in vals):
+            fail(f"metrics: histogram {name} quantiles must be numbers: {q!r}")
+        elif sorted(vals) != vals:
+            fail(f"metrics: histogram {name} quantiles not nondecreasing: "
+                 f"{vals}")
     print(f"metrics: {len(counters)} counters, {len(gauges)} gauges, "
           f"{len(histograms)} histograms")
 
@@ -165,20 +180,41 @@ def check_metrics(path):
 ROUND_KEYS = [
     "round", "participants", "completed", "dropped", "straggled", "rejected",
     "probation", "rejected_structural", "rejected_norm", "rejected_robust",
-    "robust_scores", "staleness_weights", "transfer_retries", "goodput_bytes",
+    "robust_scores", "staleness_weights", "device_wall_s", "device_train_s",
+    "device_comm_s", "transfer_retries", "goodput_bytes",
     "overhead_bytes", "attempted_bytes", "routing_entropy",
     "routing_imbalance", "phases", "wall_time_s", "aggregated",
 ]
 PHASE_KEYS = ["derive_s", "train_s", "validate_s", "aggregate_s", "total_s"]
+ALERT_REASONS = {"spike", "drift_up", "drift_down"}
+
+
+def check_alert(e, ln, where):
+    """Shared validator for alert records (events stream and timeline file)."""
+    if not isinstance(e.get("monitor"), str) or not e["monitor"]:
+        fail(f"{where}: line {ln} alert lacks monitor name")
+    if e.get("reason") not in ALERT_REASONS:
+        fail(f"{where}: line {ln} alert reason {e.get('reason')!r} not in "
+             f"{sorted(ALERT_REASONS)}")
+    if not isinstance(e.get("round"), int) or e["round"] < 0:
+        fail(f"{where}: line {ln} alert round must be a non-negative int")
+    for k in ("value", "baseline", "deviation"):
+        if not is_num(e.get(k)):
+            fail(f"{where}: line {ln} alert {k} must be a finite number: "
+                 f"{e.get(k)!r}")
 
 
 def check_events(path):
+    """Validates the NEBULA_EVENTS stream; returns {round: set(participants)}
+    for timeline referential-integrity checks (empty on parse failure)."""
     rounds = 0
+    alerts = 0
+    participants_by_round = {}
     try:
         lines = open(path).read().splitlines()
     except OSError as e:
         fail(f"events: cannot read {path}: {e}")
-        return
+        return {}
     for ln, line in enumerate(lines, 1):
         if not line.strip():
             continue
@@ -192,6 +228,11 @@ def check_events(path):
             if not isinstance(e.get("verdict"), str):
                 fail(f"events: line {ln} quarantine lacks verdict")
             continue
+        if t == "alert":
+            # Health monitors stream alerts into the same event log.
+            alerts += 1
+            check_alert(e, ln, "events")
+            continue
         if t != "round":
             fail(f"events: line {ln} has unknown type {t!r}")
             continue
@@ -200,6 +241,8 @@ def check_events(path):
         if missing:
             fail(f"events: line {ln} round event missing {missing}")
             continue
+        if isinstance(e["participants"], list):
+            participants_by_round[e["round"]] = set(e["participants"])
         phases = e["phases"]
         if not isinstance(phases, dict) or any(
                 not is_num(phases.get(k)) or phases[k] < 0
@@ -237,13 +280,111 @@ def check_events(path):
         if len(e["staleness_weights"]) != len(e["straggled"]):
             fail(f"events: line {ln} staleness_weights not parallel "
                  "to straggled")
+        # Device timing vectors are parallel to participants; wall time is
+        # the sum of the train and comm legs (serialized at %.9g, so exact
+        # equality is too strict — allow float slack).
+        for k in ("device_wall_s", "device_train_s", "device_comm_s"):
+            if (not isinstance(e[k], list) or
+                    len(e[k]) != len(e["participants"]) or
+                    not all(is_num(v) and v >= 0 for v in e[k])):
+                fail(f"events: line {ln} {k} must be non-negative numbers "
+                     "parallel to participants")
+                break
+        else:
+            for i, (w, tr, cm) in enumerate(zip(
+                    e["device_wall_s"], e["device_train_s"],
+                    e["device_comm_s"])):
+                if abs(w - (tr + cm)) > 1e-6 * max(1.0, w):
+                    fail(f"events: line {ln} device {i} wall {w} != "
+                         f"train {tr} + comm {cm}")
+                    break
         if not (0 <= e["routing_entropy"] <= 1 + 1e-9):
             fail(f"events: line {ln} routing_entropy out of [0,1]: "
                  f"{e['routing_entropy']}")
     if rounds == 0:
         fail("events: no round events found")
     else:
-        print(f"events: {rounds} round events")
+        suffix = f", {alerts} alerts" if alerts else ""
+        print(f"events: {rounds} round events{suffix}")
+    return participants_by_round
+
+
+# ---- flight-recorder timeline ----------------------------------------------
+
+TIMELINE_KINDS = {
+    "selected", "completed", "dropped", "retried", "straggled", "rejected",
+    "quarantined", "probation", "readmitted", "churned",
+}
+
+
+def check_timeline(path, participants_by_round):
+    """Validates a FlightRecorder timeline JSONL: per-line schema, strictly
+    increasing seq, nondecreasing rounds per source, and (when round events
+    were also validated) device-id referential integrity for nebula events."""
+    timeline = 0
+    alerts = 0
+    last_seq = None
+    last_round_by_source = {}
+    try:
+        lines = open(path).read().splitlines()
+    except OSError as e:
+        fail(f"timeline: cannot read {path}: {e}")
+        return
+    for ln, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(f"timeline: line {ln} is not valid JSON: {err}")
+            continue
+        t = e.get("type")
+        if t == "alert":
+            alerts += 1
+            check_alert(e, ln, "timeline")
+            continue
+        if t != "timeline":
+            fail(f"timeline: line {ln} has unknown type {t!r}")
+            continue
+        timeline += 1
+        seq = e.get("seq")
+        if not isinstance(seq, int) or seq < 0:
+            fail(f"timeline: line {ln} seq must be a non-negative int")
+        elif last_seq is not None and seq <= last_seq:
+            fail(f"timeline: line {ln} seq {seq} not strictly increasing "
+                 f"(previous {last_seq})")
+        if isinstance(seq, int):
+            last_seq = seq
+        if e.get("kind") not in TIMELINE_KINDS:
+            fail(f"timeline: line {ln} kind {e.get('kind')!r} not in enum")
+        if not isinstance(e.get("device"), int) or e["device"] < 0:
+            fail(f"timeline: line {ln} device must be a non-negative int")
+        rnd = e.get("round")
+        if not isinstance(rnd, int) or rnd < 0:
+            fail(f"timeline: line {ln} round must be a non-negative int")
+            continue
+        src = e.get("source")
+        if not isinstance(src, str) or not src:
+            fail(f"timeline: line {ln} source must be a non-empty string")
+            continue
+        # One recorder, many feeds: within each source rounds only advance.
+        prev = last_round_by_source.get(src)
+        if prev is not None and rnd < prev:
+            fail(f"timeline: line {ln} source {src} round {rnd} went "
+                 f"backwards (previous {prev})")
+        last_round_by_source[src] = rnd
+        if (participants_by_round and src == "nebula" and
+                isinstance(e.get("device"), int)):
+            known = participants_by_round.get(rnd)
+            if known is not None and e["device"] not in known:
+                fail(f"timeline: line {ln} device {e['device']} was not a "
+                     f"participant of round {rnd}")
+    if timeline == 0:
+        fail("timeline: no timeline events found")
+    else:
+        suffix = f", {alerts} alerts" if alerts else ""
+        print(f"timeline: {timeline} events over "
+              f"{len(last_round_by_source)} sources{suffix}")
 
 
 def main():
@@ -251,18 +392,24 @@ def main():
     ap.add_argument("--trace", help="Chrome trace_event JSON to validate")
     ap.add_argument("--metrics", help="metrics registry JSON to validate")
     ap.add_argument("--events", help="round-telemetry JSONL to validate")
+    ap.add_argument("--timeline",
+                    help="flight-recorder timeline JSONL to validate")
     ap.add_argument("--require-span", action="append", default=[],
                     metavar="NAME[:MIN]",
                     help="require >= MIN (default 1) spans named NAME")
     args = ap.parse_args()
-    if not (args.trace or args.metrics or args.events):
-        ap.error("nothing to check: pass --trace, --metrics and/or --events")
+    if not (args.trace or args.metrics or args.events or args.timeline):
+        ap.error("nothing to check: pass --trace, --metrics, --events "
+                 "and/or --timeline")
     if args.trace:
         check_trace(args.trace, args.require_span)
     if args.metrics:
         check_metrics(args.metrics)
+    participants_by_round = {}
     if args.events:
-        check_events(args.events)
+        participants_by_round = check_events(args.events) or {}
+    if args.timeline:
+        check_timeline(args.timeline, participants_by_round)
     if FAILURES:
         for msg in FAILURES:
             print(f"FAIL: {msg}", file=sys.stderr)

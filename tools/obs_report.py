@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Render a self-contained HTML dashboard from flight-recorder artifacts.
+
+Inputs are the JSONL/JSON files the observability env hooks write
+(NEBULA_EVENTS, NEBULA_TIMELINE, NEBULA_METRICS — see DESIGN.md §14):
+
+  python3 tools/obs_report.py --events rounds.jsonl --timeline timeline.jsonl \
+      --metrics metrics.json -o report.html
+
+The output is one HTML file with zero external dependencies (inline SVG,
+inline CSS, no JS, no CDN fetches) so it can be archived next to the run or
+opened from a sandboxed CI artifact browser. Sections:
+
+  * round time series — participation fates, routing entropy, rejection
+    rate, round wall time, device-latency p95 — with alert rounds marked;
+  * per-device swimlanes from the timeline (one row per device, one glyph
+    per lifecycle event);
+  * the alert log and a metrics digest (histogram quantiles).
+
+Only stdlib; degrades gracefully when a file is missing (section omitted).
+"""
+
+import argparse
+import html
+import json
+import os
+import sys
+
+# One colour per timeline kind / series, colour-blind-safe-ish palette.
+KIND_COLORS = {
+    "selected": "#4477aa",
+    "completed": "#228833",
+    "dropped": "#ee6677",
+    "retried": "#ccbb44",
+    "straggled": "#ff8c42",
+    "rejected": "#aa3377",
+    "quarantined": "#cc3311",
+    "probation": "#b58900",
+    "readmitted": "#66ccee",
+    "churned": "#555555",
+}
+
+CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 1000px; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+svg { background: #fcfcfc; border: 1px solid #ddd; border-radius: 4px; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #f0f0f0; }
+.legend span { margin-right: 1.2em; white-space: nowrap; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          border-radius: 2px; margin-right: 4px; }
+.note { color: #666; font-size: 0.92em; }
+"""
+
+
+def load_jsonl(path):
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ---- tiny SVG chart kit -----------------------------------------------------
+
+W, H = 920, 190
+ML, MR, MT, MB = 55, 15, 12, 28  # margins: left axis, right, top, bottom
+
+
+def nice_ticks(lo, hi, n=4):
+    """A few round-numbered tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / n
+    mag = 10 ** __import__("math").floor(__import__("math").log10(raw))
+    step = min(s * mag for s in (1, 2, 5, 10) if s * mag >= raw)
+    t = __import__("math").ceil(lo / step) * step
+    ticks = []
+    while t <= hi + 1e-12:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def fmt(v):
+    return f"{v:g}" if abs(v) < 1e5 else f"{v:.1e}"
+
+
+class LineChart:
+    """Round-indexed multi-series line chart with optional alert markers."""
+
+    def __init__(self, title, rounds, y_label=""):
+        self.title = title
+        self.rounds = rounds
+        self.y_label = y_label
+        self.series = []  # (name, color, values)
+        self.marks = []   # (round, label)
+
+    def add(self, name, color, values):
+        self.series.append((name, color, values))
+
+    def mark(self, rnd, label):
+        self.marks.append((rnd, label))
+
+    def _sx(self, r):
+        lo, hi = min(self.rounds), max(self.rounds)
+        span = max(hi - lo, 1)
+        return ML + (r - lo) / span * (W - ML - MR)
+
+    def _sy(self, v, lo, hi):
+        return MT + (1 - (v - lo) / (hi - lo)) * (H - MT - MB)
+
+    def render(self):
+        vals = [v for _, _, vs in self.series for v in vs if v is not None]
+        if not vals or not self.rounds:
+            return ""
+        lo = min(0.0, min(vals))
+        hi = max(vals) * 1.05 or 1.0
+        out = [f'<svg width="{W}" height="{H}" role="img" '
+               f'aria-label="{html.escape(self.title)}">']
+        for t in nice_ticks(lo, hi):
+            y = self._sy(t, lo, hi)
+            out.append(f'<line x1="{ML}" y1="{y:.1f}" x2="{W - MR}" '
+                       f'y2="{y:.1f}" stroke="#eee"/>')
+            out.append(f'<text x="{ML - 6}" y="{y + 4:.1f}" '
+                       f'text-anchor="end" font-size="11">{fmt(t)}</text>')
+        step = max(1, len(self.rounds) // 12)
+        for r in self.rounds[::step]:
+            x = self._sx(r)
+            out.append(f'<text x="{x:.1f}" y="{H - 8}" text-anchor="middle" '
+                       f'font-size="11">{r}</text>')
+        out.append(f'<text x="{(ML + W - MR) / 2:.0f}" y="{H - 8}" '
+                   f'text-anchor="middle" font-size="11" fill="#666" '
+                   f'dy="-14"></text>')
+        for rnd, label in self.marks:
+            x = self._sx(rnd)
+            out.append(f'<line x1="{x:.1f}" y1="{MT}" x2="{x:.1f}" '
+                       f'y2="{H - MB}" stroke="#cc3311" stroke-width="1.5" '
+                       f'stroke-dasharray="4,3"/>')
+            out.append(f'<text x="{x + 3:.1f}" y="{MT + 10}" font-size="10" '
+                       f'fill="#cc3311">{html.escape(label)}</text>')
+        for name, color, values in self.series:
+            pts = " ".join(
+                f"{self._sx(r):.1f},{self._sy(v, lo, hi):.1f}"
+                for r, v in zip(self.rounds, values) if v is not None)
+            out.append(f'<polyline points="{pts}" fill="none" '
+                       f'stroke="{color}" stroke-width="1.8"/>')
+        out.append("</svg>")
+        legend = "".join(
+            f'<span><i class="swatch" style="background:{c}"></i>'
+            f'{html.escape(n)}</span>' for n, c, _ in self.series)
+        return (f"<h2>{html.escape(self.title)}</h2>"
+                f'<div class="legend">{legend}</div>{"".join(out)}')
+
+
+def swimlane_svg(timeline, alerts):
+    """One row per device, one glyph per lifecycle event, x = round."""
+    events = [e for e in timeline if e.get("type") == "timeline"]
+    if not events:
+        return ""
+    devices = sorted({e["device"] for e in events})
+    rounds = sorted({e["round"] for e in events})
+    lo_r, hi_r = rounds[0], rounds[-1]
+    span = max(hi_r - lo_r, 1)
+    row_h = 16
+    height = MT + len(devices) * row_h + MB
+    dev_y = {d: MT + i * row_h + row_h // 2 for i, d in enumerate(devices)}
+
+    def sx(r):
+        return ML + (r - lo_r) / span * (W - ML - MR)
+
+    out = [f'<svg width="{W}" height="{height}" role="img" '
+           f'aria-label="device timelines">']
+    for d in devices:
+        y = dev_y[d]
+        out.append(f'<line x1="{ML}" y1="{y}" x2="{W - MR}" y2="{y}" '
+                   f'stroke="#eee"/>')
+        out.append(f'<text x="{ML - 6}" y="{y + 4}" text-anchor="end" '
+                   f'font-size="11">dev {d}</text>')
+    step = max(1, len(rounds) // 12)
+    for r in rounds[::step]:
+        out.append(f'<text x="{sx(r):.1f}" y="{height - 8}" '
+                   f'text-anchor="middle" font-size="11">{r}</text>')
+    for a in alerts:
+        x = sx(a["round"])
+        out.append(f'<line x1="{x:.1f}" y1="{MT - 4}" x2="{x:.1f}" '
+                   f'y2="{height - MB}" stroke="#cc3311" stroke-width="1.5" '
+                   f'stroke-dasharray="4,3"/>')
+    # Spread same-round glyphs for one device slightly so fates stay visible
+    # (selected→dropped in one round would otherwise overplot exactly).
+    seen = {}
+    for e in events:
+        key = (e["device"], e["round"])
+        nudge = seen.get(key, 0)
+        seen[key] = nudge + 1
+        x = sx(e["round"]) + nudge * 4.5
+        y = dev_y[e["device"]]
+        color = KIND_COLORS.get(e["kind"], "#999")
+        title = html.escape(
+            f'round {e["round"]}: {e["kind"]}'
+            + (f' ({e["detail"]})' if e.get("detail") else ""))
+        out.append(f'<circle cx="{x:.1f}" cy="{y}" r="4" fill="{color}">'
+                   f'<title>{title}</title></circle>')
+    out.append("</svg>")
+    kinds_present = sorted({e["kind"] for e in events},
+                           key=list(KIND_COLORS).index)
+    legend = "".join(
+        f'<span><i class="swatch" style="background:{KIND_COLORS[k]}"></i>'
+        f'{k}</span>' for k in kinds_present)
+    return ("<h2>Per-device timelines</h2>"
+            '<p class="note">One row per device; hover a glyph for the '
+            "event. Dashed red verticals are alert rounds.</p>"
+            f'<div class="legend">{legend}</div>{"".join(out)}')
+
+
+def alerts_table(alerts):
+    if not alerts:
+        return ('<h2>Alerts</h2><p class="note">No health-monitor alerts '
+                "in this run.</p>")
+    rows = "".join(
+        f'<tr><td>{a["round"]}</td><td style="text-align:left">'
+        f'{html.escape(a["monitor"])}</td><td style="text-align:left">'
+        f'{html.escape(a["reason"])}</td><td>{a["value"]:.4g}</td>'
+        f'<td>{a["baseline"]:.4g}</td><td>{a["deviation"]:.4g}</td></tr>'
+        for a in alerts)
+    return ("<h2>Alerts</h2><table><tr><th>Round</th><th>Monitor</th>"
+            "<th>Reason</th><th>Value</th><th>Baseline</th>"
+            f"<th>Deviation</th></tr>{rows}</table>")
+
+
+def metrics_table(metrics):
+    hists = metrics.get("histograms", {})
+    if not hists:
+        return ""
+    rows = "".join(
+        f'<tr><td style="text-align:left">{html.escape(name)}</td>'
+        f'<td>{h["count"]}</td>'
+        f'<td>{h["quantiles"]["p50"]:.4g}</td>'
+        f'<td>{h["quantiles"]["p95"]:.4g}</td>'
+        f'<td>{h["quantiles"]["p99"]:.4g}</td></tr>'
+        for name, h in sorted(hists.items()) if h.get("quantiles"))
+    return ("<h2>Histogram quantiles</h2><table><tr><th>Histogram</th>"
+            "<th>Count</th><th>p50</th><th>p95</th><th>p99</th></tr>"
+            f"{rows}</table>")
+
+
+def p95(values):
+    if not values:
+        return None
+    s = sorted(values)
+    return s[min(len(s) - 1, int(0.95 * (len(s) - 1) + 0.5))]
+
+
+def build_report(rounds, timeline, alerts, metrics, source_note):
+    sections = []
+    if rounds:
+        idx = [e["round"] for e in rounds]
+
+        fates = LineChart("Participation fates per round", idx, "devices")
+        fates.add("participants", "#4477aa",
+                  [len(e["participants"]) for e in rounds])
+        fates.add("completed", "#228833",
+                  [len(e["completed"]) for e in rounds])
+        fates.add("dropped", "#ee6677", [len(e["dropped"]) for e in rounds])
+        fates.add("rejected", "#aa3377", [len(e["rejected"]) for e in rounds])
+
+        health = LineChart("Routing entropy and rejection rate", idx)
+        health.add("routing entropy", "#4477aa",
+                   [e["routing_entropy"] for e in rounds])
+        health.add("rejection rate", "#aa3377",
+                   [len(e["rejected"]) / max(1, len(e["participants"]))
+                    for e in rounds])
+
+        timing = LineChart("Round latency (seconds)", idx, "s")
+        timing.add("round wall", "#4477aa",
+                   [e["wall_time_s"] for e in rounds])
+        timing.add("device wall p95", "#ff8c42",
+                   [p95([w for w in e["device_wall_s"] if w > 0])
+                    for e in rounds])
+
+        traffic = LineChart("Transfer goodput per round (KiB)", idx, "KiB")
+        traffic.add("goodput", "#228833",
+                    [e["goodput_bytes"] / 1024.0 for e in rounds])
+        traffic.add("overhead", "#ee6677",
+                    [e["overhead_bytes"] / 1024.0 for e in rounds])
+
+        for chart in (fates, health, timing, traffic):
+            for a in alerts:
+                if idx and idx[0] <= a["round"] <= idx[-1]:
+                    chart.mark(a["round"], a["monitor"])
+            sections.append(chart.render())
+
+    sections.append(swimlane_svg(timeline, alerts))
+    sections.append(alerts_table(alerts))
+    if metrics:
+        sections.append(metrics_table(metrics))
+
+    body = "".join(s for s in sections if s)
+    return (f"<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>Nebula flight-recorder report</title>"
+            f"<style>{CSS}</style></head><body>"
+            f"<h1>Nebula flight-recorder report</h1>"
+            f'<p class="note">{html.escape(source_note)}</p>'
+            f"{body}</body></html>\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--events", help="round-telemetry JSONL (NEBULA_EVENTS)")
+    ap.add_argument("--timeline",
+                    help="flight-recorder timeline JSONL (NEBULA_TIMELINE)")
+    ap.add_argument("--metrics", help="metrics registry JSON (NEBULA_METRICS)")
+    ap.add_argument("-o", "--out", default="obs_report.html")
+    args = ap.parse_args()
+    if not (args.events or args.timeline):
+        ap.error("need --events and/or --timeline")
+
+    rounds, timeline, alerts, metrics = [], [], [], {}
+    inputs = []
+    if args.events:
+        for e in load_jsonl(args.events):
+            if e.get("type") == "round":
+                rounds.append(e)
+            elif e.get("type") == "alert":
+                alerts.append(e)
+        inputs.append(os.path.basename(args.events))
+    if args.timeline:
+        timeline = load_jsonl(args.timeline)
+        # Alert lines are interleaved with timeline events; dedupe against
+        # the events stream (the same alert is mirrored into both files).
+        known = {(a["round"], a["monitor"], a["reason"]) for a in alerts}
+        for e in timeline:
+            if (e.get("type") == "alert" and
+                    (e["round"], e["monitor"], e["reason"]) not in known):
+                alerts.append(e)
+        inputs.append(os.path.basename(args.timeline))
+    if args.metrics:
+        with open(args.metrics) as f:
+            metrics = json.load(f)
+        inputs.append(os.path.basename(args.metrics))
+    alerts.sort(key=lambda a: a["round"])
+
+    note = (f"Rendered from {', '.join(inputs)} — {len(rounds)} rounds, "
+            f"{sum(1 for e in timeline if e.get('type') == 'timeline')} "
+            f"timeline events, {len(alerts)} alerts.")
+    report = build_report(rounds, timeline, alerts, metrics, note)
+    with open(args.out, "w") as f:
+        f.write(report)
+    print(f"wrote {args.out} ({len(report)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

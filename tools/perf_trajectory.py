@@ -58,11 +58,13 @@ def distil(raw):
 
 
 def run_experiments(experiments_bin):
-    """Run bench_experiments and return its {name: {wall_s}} results.
+    """Run bench_experiments and return its {name: {...}} results.
 
     The binary prints the metrics registry JSON on stdout (progress goes to
     stderr); the per-figure wall-times live in gauges named
-    ``experiment.<figure>.<variant>.wall_s``.
+    ``experiment.<figure>.<variant>.wall_s``, and dimensionless overhead
+    ratios (e.g. ``experiment.obs_overhead.ratio``, flight recorder on/off)
+    in gauges ending ``.ratio``.
     """
     out = subprocess.run([experiments_bin], check=True, capture_output=True,
                          text=True)
@@ -72,6 +74,8 @@ def run_experiments(experiments_bin):
     for name, value in metrics.get("gauges", {}).items():
         if name.startswith("experiment.") and name.endswith(".wall_s"):
             results[name] = {"wall_s": round(value, 3)}
+        elif name.startswith("experiment.") and name.endswith(".ratio"):
+            results[name] = {"ratio": round(value, 4)}
     return results
 
 
@@ -168,8 +172,11 @@ def run_experiment_suite(args):
     baseline = entries[0]["results"] if len(entries) > 1 else None
     print(f"wrote {out_path} [{args.label}]")
     for name, r in sorted(results.items()):
+        if "ratio" in r:
+            print(f"  {name:48s} {r['ratio']:>9.4f} x")
+            continue
         line = f"  {name:48s} {r['wall_s']:>9.3f} s"
-        if baseline and name in baseline:
+        if baseline and name in baseline and "wall_s" in baseline[name]:
             speedup = baseline[name]["wall_s"] / r["wall_s"]
             line += f"  ({speedup:.2f}x vs {entries[0]['label']})"
         print(line)
