@@ -107,6 +107,27 @@ void BM_ConvForwardFused(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvForwardFused);
 
+// Backward pass alone (dW/db reduction + dcol/col2im): the cost of the
+// deterministic chunk-indexed gradient reduction lives here, so the
+// trajectory records what the bit-identity contract costs over the mutex
+// baseline.
+void BM_ConvBackward(benchmark::State& state) {
+  init::reseed(16);
+  Conv2d conv(8, 8, 3, 1, 1);
+  Rng rng(17);
+  Tensor x({16, 8, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  Tensor y = conv.forward(x, true);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor dx = conv.backward(y);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
 void BM_ConvTrainStep(benchmark::State& state) {
   init::reseed(4);
   Conv2d conv(8, 8, 3, 1, 1);

@@ -8,12 +8,14 @@ namespace nebula {
 
 namespace {
 
-// All BatchNorm loops below parallelise over the feature axis: each feature's
+// Forward loops parallelise over the feature axis: each feature's
 // statistics, running-stat update, and output stripe are written by exactly
 // one participant and each per-feature reduction stays serial, so the float
 // results are bit-identical for any worker count or partition (the
-// serial-vs-parallel contract in DESIGN.md §11). Batch-axis partitioning
-// would need a cross-thread reduction whose order depends on the chunking.
+// serial-vs-parallel contract in DESIGN.md §11). The backward's cross-batch
+// gradient sums instead go through ThreadPool::reduce_ordered, whose
+// chunk-indexed accumulators and fixed merge tree make a batch-axis
+// reduction equally partition-invariant.
 template <typename F>
 void for_each_feature(std::int64_t features, const F& body) {
   ThreadPool::global().parallel_for_chunked(
@@ -140,22 +142,52 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
     return (g * features_ + f) * inner + i;
   };
 
+  // Pass 1: per-feature [sum_gy, sum_gy_xh] over the batch axis through the
+  // pool's deterministic chunk-indexed reduction (DESIGN.md §11). The old
+  // feature-axis partition kept each reduction serial to stay deterministic;
+  // reduce_ordered's pool-size-invariant chunking + fixed merge tree lets
+  // the batch axis parallelise with the same bit-identity guarantee — the
+  // same path Conv2d::backward uses for its dW/db partials.
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<float> sums(static_cast<std::size_t>(2 * features_));
+  pool.reduce_ordered(
+      0, static_cast<std::size_t>(groups), sums.size(),
+      [&](std::size_t lo, std::size_t hi, float* acc) {
+        for (std::int64_t f = 0; f < features_; ++f) {
+          double sum_gy = 0.0, sum_gy_xh = 0.0;
+          for (std::size_t g = lo; g < hi; ++g) {
+            for (std::int64_t i = 0; i < inner; ++i) {
+              const std::int64_t ix = index(static_cast<std::int64_t>(g), f, i);
+              sum_gy += gy[ix];
+              sum_gy_xh += static_cast<double>(gy[ix]) *
+                           x_hat_[static_cast<std::size_t>(ix)];
+            }
+          }
+          acc[static_cast<std::size_t>(2 * f)] = static_cast<float>(sum_gy);
+          acc[static_cast<std::size_t>(2 * f + 1)] =
+              static_cast<float>(sum_gy_xh);
+        }
+      },
+      [&](const float* total) {
+        std::copy(total, total + sums.size(), sums.begin());
+      });
+
+  for (std::int64_t f = 0; f < features_; ++f) {
+    gamma_.grad[static_cast<std::size_t>(f)] +=
+        sums[static_cast<std::size_t>(2 * f + 1)];
+    beta_.grad[static_cast<std::size_t>(f)] +=
+        sums[static_cast<std::size_t>(2 * f)];
+  }
+
+  // Pass 2: dx is elementwise given the per-feature sums — disjoint writes,
+  // so the feature partition stays bit-identical for any pool size.
   for_each_feature(features_, [&](std::int64_t f) {
     const float gm = gamma_.value[static_cast<std::size_t>(f)];
     const float inv_std = batch_inv_std_[static_cast<std::size_t>(f)];
-    double sum_gy = 0.0, sum_gy_xh = 0.0;
-    for (std::int64_t g = 0; g < groups; ++g) {
-      for (std::int64_t i = 0; i < inner; ++i) {
-        const std::int64_t ix = index(g, f, i);
-        sum_gy += gy[ix];
-        sum_gy_xh += static_cast<double>(gy[ix]) *
-                     x_hat_[static_cast<std::size_t>(ix)];
-      }
-    }
-    gamma_.grad[static_cast<std::size_t>(f)] += static_cast<float>(sum_gy_xh);
-    beta_.grad[static_cast<std::size_t>(f)] += static_cast<float>(sum_gy);
-    const float mean_gy = static_cast<float>(sum_gy / count);
-    const float mean_gy_xh = static_cast<float>(sum_gy_xh / count);
+    const float mean_gy =
+        sums[static_cast<std::size_t>(2 * f)] / static_cast<float>(count);
+    const float mean_gy_xh =
+        sums[static_cast<std::size_t>(2 * f + 1)] / static_cast<float>(count);
     for (std::int64_t g = 0; g < groups; ++g) {
       for (std::int64_t i = 0; i < inner; ++i) {
         const std::int64_t ix = index(g, f, i);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 
 #include "nn/init.h"
 #include "obs/metrics.h"
@@ -99,23 +98,28 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const float* gyd = grad_out.data();
   const float* wd = w_.value.data();
   float* dxd = dx.data();
-  std::mutex grad_mu;  // serialises the per-chunk reduction into w_/b_ grads
-  // Parallel over the batch. dx slices are disjoint per sample; dW/db are
-  // accumulated into per-worker partials and reduced under a mutex at the end
-  // of each chunk. The dW product reads the input image through the fused
-  // im2col map (no column matrix); only the dx product still materialises
-  // dcol, which col2im then scatters back into image layout.
-  pool.parallel_for_chunked(
-      0, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
-        const std::size_t col_sz =
-            static_cast<std::size_t>(col_rows * col_cols);
-        float* dcol = pool.scratch_floats(ThreadPool::kScratchConvGrad, col_sz);
-        float* part = pool.scratch_floats(
-            ThreadPool::kScratchConvMat,
-            static_cast<std::size_t>(out_c_ * col_rows + out_c_));
+  // Parallel over the batch. dx slices are disjoint per sample; dW/db go
+  // through the pool's deterministic reduction (DESIGN.md §11): each chunk
+  // accumulates into a zeroed slot indexed by its static chunk id, and the
+  // post-barrier pairwise tree combines slots in a fixed sequence — so the
+  // float accumulation order never depends on worker count or arrival
+  // timing. The dW product reads the input image through the fused im2col
+  // map (no column matrix); only the dx product still materialises dcol,
+  // which col2im then scatters back into image layout. When the layer has no
+  // bias the slot carries just the dW block — no tail to allocate or zero.
+  const std::size_t dw_sz = static_cast<std::size_t>(out_c_ * col_rows);
+  const std::size_t slot_sz =
+      dw_sz + (has_bias_ ? static_cast<std::size_t>(out_c_) : 0);
+  pool.reduce_ordered(
+      0, static_cast<std::size_t>(n), slot_sz,
+      [&](std::size_t lo, std::size_t hi, float* part) {
+        // dcol stays live across the nested GEMM + col2im below; the lease
+        // makes any kernel reaching for the same slot fail loudly.
+        ThreadPool::ScratchLease dcol(
+            pool, ThreadPool::kScratchConvGrad,
+            static_cast<std::size_t>(col_rows * col_cols));
         float* dw_part = part;
-        float* db_part = part + out_c_ * col_rows;
-        std::fill(part, part + out_c_ * col_rows + out_c_, 0.0f);
+        float* db_part = part + dw_sz;
         for (std::size_t s = lo; s < hi; ++s) {
           const std::int64_t i = static_cast<std::int64_t>(s);
           const float* gy = gyd + i * out_c_ * col_cols;
@@ -132,17 +136,19 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           }
           // dcol(rows, P) = W(out_c, rows)^T * gy(out_c, P)
           gemm(Trans::T, Trans::N, col_rows, col_cols, out_c_, wd, col_rows,
-               gy, col_cols, dcol, col_cols, /*accumulate=*/false);
-          col2im(dcol, in_c_, h, w, k_, k_, stride_, pad_, dxd + i * in_vol);
+               gy, col_cols, dcol.data(), col_cols, /*accumulate=*/false);
+          col2im(dcol.data(), in_c_, h, w, k_, k_, stride_, pad_,
+                 dxd + i * in_vol);
         }
-        std::lock_guard<std::mutex> lock(grad_mu);
+      },
+      [&](const float* total) {
         float* gw = w_.grad.data();
-        for (std::int64_t r = 0; r < out_c_ * col_rows; ++r) {
-          gw[r] += dw_part[r];
-        }
+        for (std::size_t r = 0; r < dw_sz; ++r) gw[r] += total[r];
         if (has_bias_) {
           float* gb = b_.grad.data();
-          for (std::int64_t c = 0; c < out_c_; ++c) gb[c] += db_part[c];
+          for (std::int64_t c = 0; c < out_c_; ++c) {
+            gb[c] += total[dw_sz + static_cast<std::size_t>(c)];
+          }
         }
       });
   return dx;

@@ -53,15 +53,81 @@ ThreadPool* ThreadPool::set_global(ThreadPool* pool) {
 
 std::size_t ThreadPool::current_worker_index() { return tls_index; }
 
-float* ThreadPool::scratch_floats(std::size_t slot, std::size_t min_floats) {
+std::size_t ThreadPool::scratch_row() const {
   // Threads that are not workers of this pool (index out of range) share
   // slot row 0 with the canonical caller thread; inside a parallel region of
   // this pool all participants have distinct in-range indices.
   std::size_t w = tls_pool == this ? tls_index : 0;
   if (w >= scratch_.size()) w = 0;
-  std::vector<float>& buf = scratch_[w].slots[slot % kScratchSlots];
+  return w;
+}
+
+float* ThreadPool::scratch_floats(std::size_t slot, std::size_t min_floats) {
+  WorkerScratch& row = scratch_[scratch_row()];
+  slot %= kScratchSlots;
+  NEBULA_CHECK_MSG(!row.leased[slot],
+                   "scratch slot " << slot
+                                   << " is leased by another kernel on this "
+                                      "worker (aliasing hazard)");
+  std::vector<float>& buf = row.slots[slot];
   if (buf.size() < min_floats) buf.resize(min_floats);
   return buf.data();
+}
+
+ThreadPool::ScratchLease::ScratchLease(ThreadPool& pool, std::size_t slot,
+                                       std::size_t min_floats)
+    : pool_(pool), row_(pool.scratch_row()), slot_(slot % kScratchSlots) {
+  WorkerScratch& row = pool_.scratch_[row_];
+  NEBULA_CHECK_MSG(!row.leased[slot_],
+                   "scratch slot " << slot_ << " is already leased");
+  std::vector<float>& buf = row.slots[slot_];
+  if (buf.size() < min_floats) buf.resize(min_floats);
+  row.leased[slot_] = true;
+  data_ = buf.data();
+}
+
+ThreadPool::ScratchLease::~ScratchLease() {
+  pool_.scratch_[row_].leased[slot_] = false;
+}
+
+float* ThreadPool::ScratchLease::grow(std::size_t min_floats) {
+  std::vector<float>& buf = pool_.scratch_[row_].slots[slot_];
+  if (buf.size() < min_floats) buf.resize(min_floats);
+  data_ = buf.data();
+  return data_;
+}
+
+std::size_t ThreadPool::reduce_chunks(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return std::min(kReduceChunks, (n + grain - 1) / grain);
+}
+
+ThreadPool::ReduceArenaLease::ReduceArenaLease(ThreadPool& pool,
+                                               std::size_t min_floats)
+    : pool_(pool), row_(pool.scratch_row()) {
+  WorkerScratch& row = pool_.scratch_[row_];
+  NEBULA_CHECK_MSG(!row.reduce_live,
+                   "reduce_ordered nested inside its own chunk body on the "
+                   "same thread (the outer accumulators would be clobbered)");
+  if (row.reduce_arena.size() < min_floats) row.reduce_arena.resize(min_floats);
+  row.reduce_live = true;
+  data_ = row.reduce_arena.data();
+}
+
+ThreadPool::ReduceArenaLease::~ReduceArenaLease() {
+  pool_.scratch_[row_].reduce_live = false;
+}
+
+void ThreadPool::reduce_tree(float* slots, std::size_t width,
+                             std::size_t nchunks) {
+  for (std::size_t step = 1; step < nchunks; step *= 2) {
+    for (std::size_t i = 0; i + step < nchunks; i += 2 * step) {
+      float* dst = slots + i * width;
+      const float* src = slots + (i + step) * width;
+      for (std::size_t j = 0; j < width; ++j) dst[j] += src[j];
+    }
+  }
 }
 
 void ThreadPool::run_chunks() {

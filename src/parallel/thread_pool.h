@@ -22,6 +22,7 @@
 //    instead of allocating per call.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -29,6 +30,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/check.h"
 
 namespace nebula {
 
@@ -39,12 +42,15 @@ class ThreadPool {
 
   /// Well-known scratch slots. Slots 0-1 are reserved by the GEMM packing
   /// engine; layers pick from the remaining ones. Two kernels may only share
-  /// a slot if they can never be live on the same worker at the same time.
+  /// a slot if they can never be live on the same worker at the same time —
+  /// hold a `ScratchLease` across the live range so that rule is checked
+  /// instead of assumed. (Gradient *partials* do not live here at all: they
+  /// go through the chunk-indexed `reduce_ordered` arena below, so no kernel
+  /// scratch call can ever alias them.)
   enum ScratchSlot : std::size_t {
     kScratchGemmA = 0,
     kScratchGemmB = 1,
-    kScratchConvMat = 2,
-    kScratchConvGrad = 3,
+    kScratchConvGrad = 2,
     kScratchSlots = 6,
   };
 
@@ -75,8 +81,96 @@ class ThreadPool {
   /// Grow-only per-worker scratch buffer of at least `min_floats` floats,
   /// keyed by (current_worker_index(), slot). The pointer stays valid until a
   /// larger request hits the same (worker, slot) pair. Contents persist
-  /// across calls — callers must not assume zero-initialisation.
+  /// across calls — callers must not assume zero-initialisation. Checks that
+  /// the (worker, slot) pair is not currently held by a `ScratchLease`: a
+  /// kernel reaching for a slot another kernel still has live is the
+  /// aliasing bug this guards against.
   float* scratch_floats(std::size_t slot, std::size_t min_floats);
+
+  /// RAII exclusivity marker for a scratch slot: while alive, any
+  /// `scratch_floats` (or second lease) on the same (worker, slot) pair
+  /// throws. Hold one across every region where a scratch pointer must stay
+  /// valid through calls into other kernels (e.g. Conv2d::backward keeps its
+  /// dcol buffer live across nested GEMM + col2im calls). Create and destroy
+  /// on the same thread.
+  class ScratchLease {
+   public:
+    ScratchLease(ThreadPool& pool, std::size_t slot, std::size_t min_floats);
+    ~ScratchLease();
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+
+    float* data() const { return data_; }
+    /// Re-grows the leased buffer (allowed for the holder only); the
+    /// returned pointer supersedes previous `data()` results.
+    float* grow(std::size_t min_floats);
+
+   private:
+    ThreadPool& pool_;
+    std::size_t row_;
+    std::size_t slot_;
+    float* data_;
+  };
+
+  /// Number of chunks `reduce_ordered` partitions a range of `n` items into:
+  /// min(kReduceChunks, ceil(n / grain)). A pure function of the range —
+  /// never of the pool size — which is what makes the float accumulation
+  /// grouping, and hence the reduced bits, identical for every worker count.
+  static std::size_t reduce_chunks(std::size_t n, std::size_t grain = 1);
+
+  /// Upper bound on reduce_ordered chunks: enough to feed the pool sizes in
+  /// practical use while keeping the accumulator arena (chunks x width
+  /// floats) small for wide gradients.
+  static constexpr std::size_t kReduceChunks = 8;
+
+  /// Deterministic ordered reduction (DESIGN.md §11). Partitions
+  /// [begin, end) into `reduce_chunks(end - begin, grain)` contiguous chunks
+  /// and runs `body(lo, hi, acc)` for each, fanned out over the pool, where
+  /// `acc` is a zeroed accumulator of `width` floats in a slot of the
+  /// chunk-indexed arena — indexed by the *static chunk id*, never by the
+  /// executing worker. After the barrier the per-chunk partials are combined
+  /// by a fixed pairwise tree over chunk ids and `merge(total)` runs once on
+  /// the calling thread with the reduced slot. Because both the partition
+  /// and the merge tree depend only on (end - begin, grain, width), the
+  /// result is bit-identical for any worker count, chunk schedule, or
+  /// arrival timing. Empty ranges return without calling `merge`.
+  ///
+  /// Nested calls (from inside a region of this pool) run inline on the
+  /// owning worker using that worker's private arena row — same partition,
+  /// same tree, same bits. A thread must not start a second reduce_ordered
+  /// while one of its own is live (checked); concurrent *top-level* calls
+  /// from distinct non-pool threads share arena row 0 and are not supported,
+  /// matching the scratch-arena rule.
+  template <typename Body, typename Merge>
+  void reduce_ordered(std::size_t begin, std::size_t end, std::size_t width,
+                      const Body& body, const Merge& merge,
+                      std::size_t grain = 1) {
+    if (begin >= end || width == 0) return;
+    const std::size_t n = end - begin;
+    const std::size_t nchunks = reduce_chunks(n, grain);
+    const std::size_t chunk = (n + nchunks - 1) / nchunks;
+    ReduceArenaLease arena(*this, nchunks * width);
+    struct Ctx {
+      const Body* body;
+      float* slots;
+      std::size_t width, begin, end, chunk;
+    } ctx{&body, arena.data(), width, begin, end, chunk};
+    parallel_run(
+        0, nchunks,
+        [](void* raw, std::size_t lo, std::size_t hi) {
+          const Ctx& c = *static_cast<const Ctx*>(raw);
+          for (std::size_t id = lo; id < hi; ++id) {
+            float* acc = c.slots + id * c.width;
+            std::fill(acc, acc + c.width, 0.0f);
+            const std::size_t l = c.begin + id * c.chunk;
+            const std::size_t h = std::min(c.end, l + c.chunk);
+            (*c.body)(l, h, acc);
+          }
+        },
+        &ctx, /*grain=*/1);
+    reduce_tree(arena.data(), width, nchunks);
+    merge(static_cast<const float*>(arena.data()));
+  }
 
   /// Runs fn(ctx, lo, hi) over a static chunking of [begin, end). Blocks
   /// until all chunks finish. `grain` is the minimum chunk width; ranges no
@@ -115,12 +209,44 @@ class ThreadPool {
   void worker_loop(std::size_t index);
   void run_chunks();
 
+  /// Arena row for the calling thread: its worker index inside this pool,
+  /// row 0 for every other thread (the canonical caller row).
+  std::size_t scratch_row() const;
+
+  /// RAII hold on the calling thread's reduce arena row (grow-only, like
+  /// scratch): marks the row live for the duration so self-nested
+  /// reduce_ordered calls — which would silently clobber the outer partials —
+  /// fail loudly instead.
+  class ReduceArenaLease {
+   public:
+    ReduceArenaLease(ThreadPool& pool, std::size_t min_floats);
+    ~ReduceArenaLease();
+    ReduceArenaLease(const ReduceArenaLease&) = delete;
+    ReduceArenaLease& operator=(const ReduceArenaLease&) = delete;
+    float* data() const { return data_; }
+
+   private:
+    ThreadPool& pool_;
+    std::size_t row_;
+    float* data_;
+  };
+
+  /// Combines `nchunks` per-chunk partials of `width` floats (laid out
+  /// contiguously in `slots`) into slots[0..width) with a fixed pairwise
+  /// tree over chunk ids.
+  static void reduce_tree(float* slots, std::size_t width,
+                          std::size_t nchunks);
+
   std::vector<std::thread> workers_;
 
   // Scratch arena: fixed-size outer vector (one entry per participant, caller
-  // included), so per-worker rows have stable addresses.
+  // included), so per-worker rows have stable addresses. `leased` flags are
+  // only touched by the row's owning thread.
   struct WorkerScratch {
     std::vector<float> slots[kScratchSlots];
+    bool leased[kScratchSlots] = {};
+    std::vector<float> reduce_arena;
+    bool reduce_live = false;
   };
   std::vector<WorkerScratch> scratch_;
 

@@ -537,6 +537,9 @@ void gemm_blocked(const GemmKernel& ker, Trans ta, std::int64_t m,
   NEBULA_SPAN("gemm.blocked");
   ThreadPool& pool = ThreadPool::global();
   const std::int64_t nr = ker.nr;
+  // The B panel stays live across each row_sweep below — lease the slot so
+  // any other kernel reaching for it on this thread fails loudly.
+  ThreadPool::ScratchLease bpack_lease(pool, ThreadPool::kScratchGemmB, 0);
   for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
     const std::int64_t nc = std::min(kNC, n - j0);
     const std::int64_t nc_pad = ceil_div(nc, nr) * nr;
@@ -545,8 +548,7 @@ void gemm_blocked(const GemmKernel& ker, Trans ta, std::int64_t m,
       const bool acc_pass = accumulate || p0 > 0;
       // The B panel is packed once by the calling thread and read (not
       // written) by every participant of the row-block sweep below.
-      float* bpack = pool.scratch_floats(
-          ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
+      float* bpack = bpack_lease.grow(static_cast<std::size_t>(kc * nc_pad));
       {
         NEBULA_SPAN("gemm.pack_b");
         bsrc.pack(bsrc, p0, j0, kc, nc, nr, bpack);
@@ -743,14 +745,14 @@ void gemm_batched(Trans ta, Trans tb, const GemmBatchItem* items,
     src.ldb = head.ldb;
     src.tb = tb;
     const std::int64_t nr = ker.nr;
+    ThreadPool::ScratchLease bpack_lease(pool, ThreadPool::kScratchGemmB, 0);
     for (std::int64_t j0 = 0; j0 < head.n; j0 += kNC) {
       const std::int64_t nc = std::min(kNC, head.n - j0);
       const std::int64_t nc_pad = ceil_div(nc, nr) * nr;
       for (std::int64_t p0 = 0; p0 < head.k; p0 += kKC) {
         const std::int64_t kc = std::min(kKC, head.k - p0);
         const bool acc_pass = accumulate || p0 > 0;
-        float* bpack = pool.scratch_floats(
-            ThreadPool::kScratchGemmB, static_cast<std::size_t>(kc * nc_pad));
+        float* bpack = bpack_lease.grow(static_cast<std::size_t>(kc * nc_pad));
         {
           NEBULA_SPAN("gemm.pack_b");
           src.pack(src, p0, j0, kc, nc, nr, bpack);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/batchnorm.h"
 #include "nn/conv.h"
 #include "parallel/thread_pool.h"
 #include "tensor/gemm.h"
@@ -81,6 +82,14 @@ void expect_close(const Tensor& got, const Tensor& want, float tol,
     const float w = want[static_cast<std::size_t>(i)];
     ASSERT_NEAR(g, w, tol * (1.0f + std::fabs(w))) << what << " at " << i;
   }
+}
+
+void expect_bits(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_EQ(got.numel(), want.numel()) << what;
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        static_cast<std::size_t>(got.numel()) * sizeof(float)),
+            0)
+      << what << " is not bit-identical";
 }
 
 // Odd, deliberately non-multiple-of-tile sizes so every pack/store edge path
@@ -202,16 +211,57 @@ TEST(ConvEquivalence, ForwardBackwardSerialVsParallel) {
       dw1 = conv.params()[0]->grad;
       db1 = conv.params()[1]->grad;
     }
-    {
-      ScopedPool scope(4);
+    // Backward's dW/db reduction goes through the chunk-indexed
+    // reduce_ordered arena, so — like the disjoint-write forward — every
+    // pool size must reproduce the serial bits exactly.
+    for (std::size_t workers : {2u, 4u, 7u}) {
+      SCOPED_TRACE(testing::Message() << "workers=" << workers);
+      ScopedPool scope(workers);
       conv.zero_grad();
-      Tensor y4 = conv.forward(x, true);
-      Tensor dx4 = conv.backward(gy);
-      const float tol = 1e-4f;
-      expect_close(y4, y1, tol, "conv forward");
-      expect_close(dx4, dx1, tol, "conv dx");
-      expect_close(conv.params()[0]->grad, dw1, tol, "conv dW");
-      expect_close(conv.params()[1]->grad, db1, tol, "conv db");
+      Tensor yn = conv.forward(x, true);
+      Tensor dxn = conv.backward(gy);
+      expect_bits(yn, y1, "conv forward");
+      expect_bits(dxn, dx1, "conv dx");
+      expect_bits(conv.params()[0]->grad, dw1, "conv dW");
+      expect_bits(conv.params()[1]->grad, db1, "conv db");
+    }
+  }
+}
+
+TEST(BatchNormEquivalence, BackwardSerialVsParallelBitIdentical) {
+  // The backward's cross-batch sums ride the same deterministic reduction as
+  // conv's dW/db; rank-2 and rank-4 layouts, odd sizes, every pool size.
+  struct Case {
+    std::vector<std::int64_t> shape;
+  };
+  const Case cases[] = {{{9, 5}}, {{4, 3, 5, 7}}, {{17, 6}}, {{3, 8, 4, 4}}};
+  Rng rng(123);
+  for (const auto& cc : cases) {
+    SCOPED_TRACE(testing::Message() << "rank=" << cc.shape.size());
+    const std::int64_t features = cc.shape[1];
+    BatchNorm bn(features);
+    Tensor x(cc.shape), gy(cc.shape);
+    fill_random(x, rng);
+    fill_random(gy, rng);
+
+    Tensor dx1, dgamma1, dbeta1;
+    {
+      ScopedPool scope(1);
+      bn.zero_grad();
+      bn.forward(x, true);
+      dx1 = bn.backward(gy);
+      dgamma1 = bn.params()[0]->grad;
+      dbeta1 = bn.params()[1]->grad;
+    }
+    for (std::size_t workers : {2u, 4u, 7u}) {
+      SCOPED_TRACE(testing::Message() << "workers=" << workers);
+      ScopedPool scope(workers);
+      bn.zero_grad();
+      bn.forward(x, true);
+      Tensor dxn = bn.backward(gy);
+      expect_bits(dxn, dx1, "bn dx");
+      expect_bits(bn.params()[0]->grad, dgamma1, "bn dgamma");
+      expect_bits(bn.params()[1]->grad, dbeta1, "bn dbeta");
     }
   }
 }

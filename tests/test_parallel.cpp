@@ -1,14 +1,17 @@
-// Thread pool and parallel_for tests.
+// Thread pool, parallel_for, and deterministic-reduction tests.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
+#include "common/rng.h"
 #include "parallel/thread_pool.h"
 
 namespace nebula {
@@ -133,12 +136,12 @@ TEST(ThreadPool, ScratchIsDistinctPerParticipant) {
 
 TEST(ThreadPool, ScratchPersistsAndGrows) {
   ThreadPool pool(1);
-  float* a = pool.scratch_floats(ThreadPool::kScratchConvMat, 16);
+  float* a = pool.scratch_floats(ThreadPool::kScratchConvGrad, 16);
   a[3] = 42.0f;
-  float* b = pool.scratch_floats(ThreadPool::kScratchConvMat, 16);
+  float* b = pool.scratch_floats(ThreadPool::kScratchConvGrad, 16);
   EXPECT_EQ(a, b);
   EXPECT_EQ(b[3], 42.0f);
-  float* c = pool.scratch_floats(ThreadPool::kScratchConvMat, 1 << 16);
+  float* c = pool.scratch_floats(ThreadPool::kScratchConvGrad, 1 << 16);
   for (std::size_t i = 0; i < (1u << 16); ++i) c[i] = 1.0f;  // must be usable
 }
 
@@ -148,6 +151,149 @@ TEST(ThreadPool, SetGlobalOverridesAndRestores) {
   EXPECT_EQ(&ThreadPool::global(), &mine);
   ThreadPool::set_global(prev);
   EXPECT_NE(&ThreadPool::global(), &mine);
+}
+
+TEST(ReduceOrdered, ChunkCountIsPureFunctionOfRange) {
+  // The partition must depend on the range alone — never on the pool — or
+  // the accumulation grouping (and the bits) would change with worker count.
+  EXPECT_EQ(ThreadPool::reduce_chunks(0), 0u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(1), 1u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(5), 5u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(ThreadPool::kReduceChunks),
+            ThreadPool::kReduceChunks);
+  EXPECT_EQ(ThreadPool::reduce_chunks(1000), ThreadPool::kReduceChunks);
+  EXPECT_EQ(ThreadPool::reduce_chunks(100, 50), 2u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(100, 0), ThreadPool::kReduceChunks);
+}
+
+TEST(ReduceOrdered, SumsMatchExactIntegerReference) {
+  ThreadPool pool(4);
+  const std::size_t n = 4097;
+  std::vector<float> out(1, 0.0f);
+  pool.reduce_ordered(
+      0, n, 1,
+      [&](std::size_t lo, std::size_t hi, float* acc) {
+        for (std::size_t i = lo; i < hi; ++i) acc[0] += 1.0f;
+      },
+      [&](const float* total) { out[0] += total[0]; });
+  EXPECT_EQ(out[0], static_cast<float>(n));
+}
+
+// The contract the conv/batchnorm backward reductions rest on: for float
+// data whose accumulation order matters, every pool size must produce the
+// same bits because the chunking and merge tree are pool-size-invariant.
+TEST(ReduceOrdered, BitIdenticalAcrossPoolSizes) {
+  const std::size_t n = 1013, width = 7;
+  Rng rng(314);
+  std::vector<float> data(n);
+  for (auto& v : data) v = rng.normal() * 1e3f + rng.normal() * 1e-3f;
+
+  auto run_with_pool = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<float> out(width, 0.0f);
+    pool.reduce_ordered(
+        0, n, width,
+        [&](std::size_t lo, std::size_t hi, float* acc) {
+          for (std::size_t i = lo; i < hi; ++i) acc[i % width] += data[i];
+        },
+        [&](const float* total) {
+          for (std::size_t j = 0; j < width; ++j) out[j] += total[j];
+        });
+    return out;
+  };
+
+  const std::vector<float> serial = run_with_pool(1);
+  for (std::size_t workers : {2u, 4u, 7u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const std::vector<float> parallel = run_with_pool(workers);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(std::memcmp(parallel.data(), serial.data(),
+                          serial.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(ReduceOrdered, EmptyRangeSkipsMerge) {
+  ThreadPool pool(2);
+  int merges = 0;
+  pool.reduce_ordered(
+      5, 5, 3, [](std::size_t, std::size_t, float*) {},
+      [&](const float*) { ++merges; });
+  pool.reduce_ordered(
+      7, 3, 3, [](std::size_t, std::size_t, float*) {},
+      [&](const float*) { ++merges; });
+  EXPECT_EQ(merges, 0);
+}
+
+// Nested use — a reduction running inline inside a chunk of an outer
+// parallel region, the per-device round pattern — must produce the same bits
+// as the same reduction run at top level.
+TEST(ReduceOrdered, NestedInsideRegionMatchesTopLevelBits) {
+  const std::size_t n = 257;
+  Rng rng(99);
+  std::vector<float> data(n);
+  for (auto& v : data) v = rng.normal();
+
+  auto reduce_sum = [&](ThreadPool& pool) {
+    float out = 0.0f;
+    pool.reduce_ordered(
+        0, n, 1,
+        [&](std::size_t lo, std::size_t hi, float* acc) {
+          for (std::size_t i = lo; i < hi; ++i) acc[0] += data[i];
+        },
+        [&](const float* total) { out = total[0]; });
+    return out;
+  };
+
+  ThreadPool pool(4);
+  const float top_level = reduce_sum(pool);
+  std::vector<float> nested(8, 0.0f);
+  pool.parallel_for(0, nested.size(), [&](std::size_t i) {
+    nested[i] = reduce_sum(pool);
+  });
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&nested[i], &top_level, sizeof(float)), 0)
+        << "nested reduction " << i << " diverged from top-level bits";
+  }
+}
+
+TEST(ReduceOrdered, SelfNestedReductionThrows) {
+  // A chunk body starting a second reduction on the same thread would
+  // clobber the outer accumulators; the arena lease catches it.
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.reduce_ordered(
+          0, 4, 1,
+          [&](std::size_t, std::size_t, float*) {
+            pool.reduce_ordered(
+                0, 2, 1, [](std::size_t, std::size_t, float*) {},
+                [](const float*) {});
+          },
+          [](const float*) {}),
+      std::runtime_error);
+}
+
+TEST(ScratchLease, BlocksAliasingAccessWhileLive) {
+  ThreadPool pool(1);
+  {
+    ThreadPool::ScratchLease lease(pool, ThreadPool::kScratchConvGrad, 64);
+    ASSERT_NE(lease.data(), nullptr);
+    lease.data()[0] = 1.0f;
+    // The leased slot is off-limits to everyone else on this worker...
+    EXPECT_THROW(pool.scratch_floats(ThreadPool::kScratchConvGrad, 16),
+                 std::runtime_error);
+    EXPECT_THROW(
+        ThreadPool::ScratchLease(pool, ThreadPool::kScratchConvGrad, 16),
+        std::runtime_error);
+    // ...while other slots stay available.
+    EXPECT_NE(pool.scratch_floats(ThreadPool::kScratchGemmA, 16), nullptr);
+    // The holder may grow its own buffer.
+    float* grown = lease.grow(1 << 12);
+    ASSERT_NE(grown, nullptr);
+    grown[(1 << 12) - 1] = 2.0f;
+  }
+  // Release restores normal access.
+  EXPECT_NE(pool.scratch_floats(ThreadPool::kScratchConvGrad, 16), nullptr);
 }
 
 TEST(ThreadPool, ManyConsecutiveRegionsStress) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -47,8 +48,7 @@ void expect_states_bitwise_equal(const std::vector<float>& a,
 }
 
 // Mirrors the SmallWorld fixture of test_nebula_system.cpp: a 10-device
-// HAR-like fleet (MLP models — their train/eval kernels are bit-identical
-// for any pool size, unlike Conv2d's timing-ordered gradient reduction).
+// HAR-like fleet of MLP models.
 struct World {
   std::unique_ptr<SyntheticGenerator> gen;
   std::unique_ptr<EdgePopulation> pop;
@@ -76,6 +76,45 @@ struct World {
     cfg.devices_per_round = 4;
     cfg.pretrain.epochs = 4;
     return NebulaSystem(make_modular_mlp(32, 6, opts), *pop, profiles, cfg);
+  }
+};
+
+// Conv counterpart: a 6-device CIFAR-like fleet whose ResNet18-style models
+// drive Conv2d/BatchNorm backward through ThreadPool::reduce_ordered on
+// every on-device step. Sized small (8x8 images, 3 modules per layer, short
+// epochs, 40-80 samples per device) so sweeping pool sizes {2, 4, 7} stays
+// affordable under TSan.
+struct ConvWorld {
+  std::unique_ptr<SyntheticGenerator> gen;
+  std::unique_ptr<EdgePopulation> pop;
+  std::vector<DeviceProfile> profiles;
+  SyntheticData proxy;
+
+  explicit ConvWorld(std::uint64_t seed = 66) {
+    auto spec = cifar10_like_spec();
+    gen = std::make_unique<SyntheticGenerator>(spec, seed);
+    PartitionConfig pc;
+    pc.num_devices = 6;
+    pc.classes_per_device = 2;
+    pc.min_samples = 40;
+    pc.max_samples = 80;
+    pc.seed = seed + 1;
+    pop = std::make_unique<EdgePopulation>(*gen, pc);
+    ProfileSampler sampler(seed + 2);
+    profiles = sampler.sample_fleet(6);
+    proxy = pop->proxy_data_ex(300);
+  }
+
+  NebulaSystem make_system(NebulaConfig cfg = {}) {
+    ZooOptions opts;
+    opts.modules_per_layer = 3;
+    opts.init_seed = 911;
+    cfg.devices_per_round = 3;
+    cfg.pretrain.epochs = 2;
+    cfg.ability.finetune.epochs = 1;
+    cfg.edge.epochs = 1;
+    return NebulaSystem(make_modular_resnet18({3, 8, 8}, 10, opts), *pop,
+                        profiles, cfg);
   }
 };
 
@@ -127,43 +166,56 @@ void expect_ledgers_identical(const CommLedger& a, const CommLedger& b) {
   EXPECT_EQ(a.failed_attempts(), b.failed_attempts());
 }
 
-// Builds two identical systems, runs `rounds` rounds on a serial pool and a
-// multi-worker pool respectively, and asserts bit-identical outcomes.
-void expect_serial_parallel_identical(NebulaConfig cfg,
-                                      const FaultConfig* faults,
-                                      int rounds = 3) {
+// Builds one system per pool size, runs `rounds` rounds on a serial pool and
+// each multi-worker pool respectively, and asserts bit-identical outcomes.
+// Templated over the world fixture so the MLP and conv fleets share the
+// harness.
+template <typename WorldT>
+void expect_serial_parallel_identical_for(
+    NebulaConfig cfg, const FaultConfig* faults, int rounds,
+    const std::vector<std::size_t>& parallel_sizes) {
   // The whole equivalence suite runs with the flight recorder on: recording
   // must be bit-identity-neutral (DESIGN.md §14), so turning it on here both
-  // pins that contract and exercises the feed path under both pool sizes.
+  // pins that contract and exercises the feed path under every pool size.
   obs::recorder().set_enabled(true);
   obs::recorder().reset();
-  World w1, w2;
-  auto serial = w1.make_system(cfg);
-  auto parallel = w2.make_system(cfg);
-  if (faults != nullptr) {
-    serial.inject_faults(*faults);
-    parallel.inject_faults(*faults);
-  }
-  // Offline runs under the (shared) default pool for both systems.
-  serial.offline(w1.proxy);
-  parallel.offline(w2.proxy);
-
-  std::vector<RoundReport> sr, pr;
+  WorldT ws;
+  auto serial = ws.make_system(cfg);
+  if (faults != nullptr) serial.inject_faults(*faults);
+  // Offline runs under the (shared) default pool for every system.
+  serial.offline(ws.proxy);
+  std::vector<RoundReport> sr;
   with_pool(kSerialWorkers, [&] {
     for (int r = 0; r < rounds; ++r) sr.push_back(serial.round());
   });
-  with_pool(kParallelWorkers, [&] {
-    for (int r = 0; r < rounds; ++r) pr.push_back(parallel.round());
-  });
+  const std::vector<float> serial_snap = cloud_snapshot(serial);
 
-  ASSERT_EQ(sr.size(), pr.size());
-  for (std::size_t r = 0; r < sr.size(); ++r) {
-    SCOPED_TRACE("round " + std::to_string(r));
-    expect_reports_identical(sr[r], pr[r]);
+  for (const std::size_t workers : parallel_sizes) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    WorldT wp;
+    auto parallel = wp.make_system(cfg);
+    if (faults != nullptr) parallel.inject_faults(*faults);
+    parallel.offline(wp.proxy);
+    std::vector<RoundReport> pr;
+    with_pool(workers, [&] {
+      for (int r = 0; r < rounds; ++r) pr.push_back(parallel.round());
+    });
+
+    ASSERT_EQ(sr.size(), pr.size());
+    for (std::size_t r = 0; r < sr.size(); ++r) {
+      SCOPED_TRACE("round " + std::to_string(r));
+      expect_reports_identical(sr[r], pr[r]);
+    }
+    expect_ledgers_identical(serial.ledger(), parallel.ledger());
+    expect_states_bitwise_equal(serial_snap, cloud_snapshot(parallel));
   }
-  expect_ledgers_identical(serial.ledger(), parallel.ledger());
-  expect_states_bitwise_equal(cloud_snapshot(serial),
-                              cloud_snapshot(parallel));
+}
+
+void expect_serial_parallel_identical(NebulaConfig cfg,
+                                      const FaultConfig* faults,
+                                      int rounds = 3) {
+  expect_serial_parallel_identical_for<World>(cfg, faults, rounds,
+                                              {kParallelWorkers});
 }
 
 TEST(ParallelRound, ZeroFaultRoundsAreBitIdentical) {
@@ -279,6 +331,113 @@ TEST(ParallelRound, HeteroFLRoundsAreBitIdentical) {
   expect_states_bitwise_equal(get_state(serial.global()),
                               get_state(parallel.global()));
   expect_ledgers_identical(serial.ledger(), parallel.ledger());
+}
+
+// ---- Conv models ---------------------------------------------------------
+//
+// ResNet18-style fleets across pool sizes {1, 2, 4, 7}: Conv2d::backward's
+// dW/db reduction and BatchNorm::backward's batch-axis sums now go through
+// ThreadPool::reduce_ordered, so conv rounds are covered by the same
+// bit-identity contract as the MLP rounds above (DESIGN.md §11 — this suite
+// used to exclude conv models).
+
+const std::vector<std::size_t> kConvPoolSizes = {2, 4, 7};
+
+TEST(ParallelRoundConv, NebulaRobustFaultyRoundsAreBitIdentical) {
+  // The full stack at once — trimmed-mean folding, the anomaly gate,
+  // probation bookkeeping, a sign-flip coalition, dropouts and corrupted
+  // uploads — on a conv fleet, bit-identical for every pool size.
+  NebulaConfig cfg;
+  cfg.fault_policy.robust.kind = RobustAggregatorKind::kTrimmedMean;
+  cfg.fault_policy.robust.anomaly_threshold = 4.0;
+  cfg.fault_policy.probation_clean_rounds = 2;
+  FaultConfig fc;
+  fc.byzantine_fraction = 0.34;  // 2 of 6 devices
+  fc.byzantine_kind = ByzantineKind::kSignFlip;
+  fc.num_devices = 6;
+  fc.dropout_prob = 0.15;
+  fc.corruption_prob = 0.15;
+  fc.seed = 909;
+  expect_serial_parallel_identical_for<ConvWorld>(cfg, &fc, /*rounds=*/2,
+                                                  kConvPoolSizes);
+}
+
+TEST(ParallelRoundConv, FedAvgRoundsAreBitIdentical) {
+  obs::recorder().set_enabled(true);
+  obs::recorder().reset();
+  FedAvgConfig cfg;
+  cfg.devices_per_round = 3;
+  TrainConfig pre;
+  pre.epochs = 2;
+  FaultConfig fc;
+  fc.dropout_prob = 0.2;
+  fc.corruption_prob = 0.2;
+  fc.seed = 78;
+
+  auto run = [&](std::size_t workers) {
+    ConvWorld w;
+    FaultInjector inj(fc);
+    init::reseed(503);
+    FedAvg sys(make_plain_resnet18({3, 8, 8}, 10, 1.0), *w.pop, cfg);
+    sys.pretrain(w.proxy.data, pre);
+    sys.set_fault_injector(&inj);
+    std::vector<std::vector<std::int64_t>> parts;
+    with_pool(workers, [&] {
+      for (int r = 0; r < 2; ++r) parts.push_back(sys.round());
+    });
+    return std::make_tuple(
+        std::move(parts), get_state(sys.global()),
+        std::make_tuple(sys.ledger().download_bytes(),
+                        sys.ledger().upload_bytes(),
+                        sys.ledger().overhead_bytes(),
+                        sys.ledger().download_attempts(),
+                        sys.ledger().upload_attempts(),
+                        sys.ledger().failed_attempts()));
+  };
+
+  const auto serial = run(kSerialWorkers);
+  for (const std::size_t workers : kConvPoolSizes) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    const auto parallel = run(workers);
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel));
+    expect_states_bitwise_equal(std::get<1>(serial), std::get<1>(parallel));
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(parallel));
+  }
+}
+
+TEST(ParallelRoundConv, HeteroFLRoundsAreBitIdentical) {
+  obs::recorder().set_enabled(true);
+  obs::recorder().reset();
+  HeteroFLConfig cfg;
+  cfg.devices_per_round = 3;
+  TrainConfig pre;
+  pre.epochs = 2;
+  FaultConfig fc;
+  fc.dropout_prob = 0.2;
+  fc.seed = 79;
+  auto factory = [](double w) { return make_plain_resnet18({3, 8, 8}, 10, w); };
+
+  auto run = [&](std::size_t workers) {
+    ConvWorld w;
+    FaultInjector inj(fc);
+    init::reseed(504);
+    HeteroFL sys(factory, *w.pop, w.profiles, cfg);
+    sys.pretrain(w.proxy.data, pre);
+    sys.set_fault_injector(&inj);
+    std::vector<std::vector<std::int64_t>> parts;
+    with_pool(workers, [&] {
+      for (int r = 0; r < 2; ++r) parts.push_back(sys.round());
+    });
+    return std::make_pair(std::move(parts), get_state(sys.global()));
+  };
+
+  const auto serial = run(kSerialWorkers);
+  for (const std::size_t workers : kConvPoolSizes) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    const auto parallel = run(workers);
+    EXPECT_EQ(serial.first, parallel.first);
+    expect_states_bitwise_equal(serial.second, parallel.second);
+  }
 }
 
 TEST(ParallelRound, TrainSeedsDoNotCollideAcrossProtocolFamilies) {
